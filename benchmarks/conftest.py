@@ -1,0 +1,53 @@
+"""Benchmark fixtures.
+
+Every table/figure benchmark consumes one shared synthetic capture
+(session-scoped — generating it is itself benchmarked separately) and
+writes its rendered paper-vs-measured table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import PacketSimConfig, run_packet_simulation
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The standard evaluation capture: ~600 customers, 5 days.
+BENCH_CONFIG = WorkloadConfig(n_customers=600, days=5, seed=2022)
+
+
+@pytest.fixture(scope="session")
+def generator() -> WorkloadGenerator:
+    return WorkloadGenerator(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def frame(generator):
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def packet_sim():
+    return run_packet_simulation(
+        PacketSimConfig(
+            countries=("Spain", "Congo", "Ireland", "Nigeria", "UK", "South Africa"),
+            flows_per_customer=8,
+            seed=2022,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered comparison table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print("\n" + text)
+
+    return _save

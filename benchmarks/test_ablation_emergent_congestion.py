@@ -1,0 +1,62 @@
+"""Ablation: configured vs emergent beam congestion.
+
+The default pipeline stamps satellite RTTs from the *configured* beam
+loads (DESIGN.md §5 calls these calibration inputs). Closing the loop —
+deriving each beam's hourly load from the traffic the population
+actually generated — tests that Figure 8's story is mechanistic: Congo's
+congestion should *emerge* from community-AP traffic without being
+configured anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import format_table
+from repro.analysis.reports import fig8_satellite_rtt
+from repro.traffic.congestion import EmergentCongestion
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_emergent_congestion_ablation(benchmark, frame, generator, save_result):
+    emergent = benchmark(EmergentCongestion.from_frame, frame, generator.beam_map)
+    rng = np.random.default_rng(5)
+    restamped = emergent.restamp(frame, generator.rtt_model, rng)
+
+    configured = fig8_satellite_rtt.compute_fig8a(frame)
+    measured = fig8_satellite_rtt.compute_fig8a(restamped)
+
+    rows = []
+    for country in ("Congo", "Nigeria", "Spain", "UK"):
+        rows.append(
+            (
+                country,
+                f"{configured.quartiles_ms(country, 'peak')[1]:.0f}",
+                f"{measured.quartiles_ms(country, 'peak')[1]:.0f}",
+                f"{configured.fraction_over(country, 'peak', 2000.0) * 100:.0f} %",
+                f"{measured.fraction_over(country, 'peak', 2000.0) * 100:.0f} %",
+            )
+        )
+    busiest = ", ".join(
+        f"{beam}={util:.2f}" for beam, util in emergent.busiest_beams(4).items()
+    )
+    save_result(
+        "ablation_emergent_congestion",
+        format_table(
+            ["Country", "cfg med ms", "emergent med ms", "cfg >2s", "emergent >2s"],
+            rows,
+            title="Ablation: configured vs traffic-derived beam congestion (peak)",
+        )
+        + f"\nBusiest emergent beams: {busiest}",
+    )
+
+    # The hot beams *emerge* where the community APs are.
+    busiest_ids = list(emergent.busiest_beams(4))
+    assert any(b.startswith("congo") for b in busiest_ids[:3])
+
+    # Figure 8's qualitative story survives the feedback loop.
+    assert measured.fraction_over("Congo", "peak", 2000.0) > 0.05
+    assert measured.quartiles_ms("Congo", "peak")[1] > measured.quartiles_ms(
+        "Spain", "peak"
+    )[1]
+    # Spain stays comfortable either way.
+    assert measured.fraction_under("Spain", "night", 1000.0) > 0.6

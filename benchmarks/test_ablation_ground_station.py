@@ -1,0 +1,75 @@
+"""Ablation: add an African ground station (Section 6.2).
+
+The paper: "They are already evaluating the possibility of setting up a
+ground station in Africa to optimize traffic routing and reduce ground
+RTT for those services located in Africa. In terms of performance, the
+numbers are clearly in favor of this decision." We quantify it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import format_table
+from repro.internet.geo import SERVER_SITES, Location
+from repro.internet.latency import LatencyModel
+
+#: Candidate African ground-station site (Lagos teleport).
+AFRICAN_GS = Location("Lagos-GS", 6.52, 3.38, "Africa")
+
+AFRICAN_SITES = ("Lagos", "Kinshasa", "Johannesburg", "Nairobi")
+EUROPEAN_SITES = ("Milan-IX", "Frankfurt", "London")
+
+
+def _median_rtt_by_site(frame, latency, ground_station):
+    """Per-site ground RTT under a given ground-station location."""
+    return {
+        site: latency.base_rtt_ms(ground_station, SERVER_SITES[site])
+        for site in AFRICAN_SITES + EUROPEAN_SITES
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_african_ground_station_ablation(benchmark, frame, save_result):
+    latency = LatencyModel()
+    from repro.internet.geo import GROUND_STATION
+
+    baseline = benchmark(_median_rtt_by_site, frame, latency, GROUND_STATION)
+    african = _median_rtt_by_site(frame, latency, AFRICAN_GS)
+
+    rows = [
+        (site, f"{baseline[site]:.0f}", f"{african[site]:.0f}",
+         f"{baseline[site] - african[site]:+.0f}")
+        for site in AFRICAN_SITES + EUROPEAN_SITES
+    ]
+    # Weight the improvement by the actual African traffic hitting
+    # African sites in the capture.
+    africa_mask = np.zeros(len(frame), dtype=bool)
+    for country in ("Congo", "Nigeria", "South Africa"):
+        africa_mask |= frame.country_mask(country)
+    site_idx_of = {name: i for i, name in enumerate(frame.sites)}
+    local_mask = np.isin(frame.site_idx, [site_idx_of[s] for s in AFRICAN_SITES])
+    affected = float((africa_mask & local_mask).sum() / max(africa_mask.sum(), 1))
+
+    save_result(
+        "ablation_ground_station",
+        format_table(
+            ["Site", "GS=Italy ms", "GS=Lagos ms", "delta"],
+            rows,
+            title="Ablation: ground RTT with an African ground station",
+        )
+        + f"\nShare of African TCP flows hitting African sites: {affected * 100:.1f} %",
+    )
+
+    # African-hosted services improve massively — Lagos and
+    # Johannesburg by more than half; Kinshasa keeps its local-peering
+    # penalty but still gains tens of milliseconds.
+    for site in ("Lagos", "Johannesburg"):
+        assert african[site] < baseline[site] * 0.80, site
+    assert african["Lagos"] < baseline["Lagos"] * 0.45
+    assert baseline["Kinshasa"] - african["Kinshasa"] > 40.0
+    # …at the cost of European sites (which is why one ground station
+    # per continent, not a move, is the fix).
+    for site in EUROPEAN_SITES:
+        assert african[site] > baseline[site]
+    # A measurable share of African traffic benefits.
+    assert affected > 0.02

@@ -1,0 +1,50 @@
+"""Ablation: the ground station's QoS scheduler (Section 2.1).
+
+The operator "uses L3/L4 and domain name-specific rules to prioritize
+interactive traffic and shape video streaming flows". We measure what
+that machinery buys on a congested downlink.
+"""
+
+import pytest
+
+from repro.analysis.aggregate import format_table
+from repro.satcom.qos import TrafficClass
+from repro.satcom.qos_sim import QosScenarioConfig, run_qos_scenario
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_qos_scheduler_ablation(benchmark, save_result):
+    config = QosScenarioConfig()
+    with_qos = benchmark(run_qos_scenario, config, True)
+    without_qos = run_qos_scenario(config, use_scheduler=False)
+
+    rows = [
+        (
+            cls.name.lower(),
+            f"{with_qos.latency_ms(cls):.1f}",
+            f"{without_qos.latency_ms(cls):.1f}",
+            with_qos.delivered[cls],
+        )
+        for cls in TrafficClass
+    ]
+    save_result(
+        "ablation_qos",
+        format_table(
+            ["Class", "QoS latency ms", "FIFO latency ms", "delivered"],
+            rows,
+            title="Ablation: priority scheduling + video shaping on a congested downlink",
+        ),
+    )
+
+    # Interactive traffic: milliseconds with QoS, seconds without.
+    assert with_qos.latency_ms(TrafficClass.INTERACTIVE) < 20.0
+    assert without_qos.latency_ms(TrafficClass.INTERACTIVE) > 500.0
+    # Web also protected.
+    assert with_qos.latency_ms(TrafficClass.WEB) < 50.0
+    # The cost lands on the shaped video class, by design.
+    assert with_qos.latency_ms(TrafficClass.VIDEO) > without_qos.latency_ms(
+        TrafficClass.VIDEO
+    )
+    # Same work gets delivered either way (no starvation of delivery).
+    for cls in (TrafficClass.INTERACTIVE, TrafficClass.WEB):
+        assert with_qos.delivered[cls] > 0.9 * max(without_qos.delivered[cls], 1)

@@ -1,0 +1,47 @@
+"""Benchmark: appendix Tables 4–5 — ground RTT per second-level domain
+and resolver for Congo/South Africa and Nigeria/U.K."""
+
+import pytest
+
+from repro.analysis.reports import appendix_ground_rtt
+
+
+@pytest.mark.benchmark(group="appendix")
+def test_appendix_tables_4_and_5(benchmark, frame, save_result):
+    result = benchmark(
+        appendix_ground_rtt.compute,
+        frame,
+        ("Congo", "South Africa", "Nigeria", "UK"),
+    )
+    text = "\n\n".join(
+        appendix_ground_rtt.render(result, country)
+        for country in ("Congo", "South Africa", "Nigeria", "UK")
+    )
+    save_result("appendix_tables", text)
+
+    # Chinese platforms are slow from everywhere (qq.com ≈ 240–255 ms
+    # in both appendix tables).
+    qq = [rtt for (c, r, sld), rtt in result.mean_rtt_ms.items() if sld == "qq.com"]
+    assert qq and min(qq) > 180.0
+
+    # whatsapp.net: served by a global CDN — European cells cheap, a
+    # distant resolver can still push African cells up (Table 5 shows
+    # 23.6–119.4 ms for Nigeria).
+    uk_whatsapp = [
+        rtt
+        for (c, r, sld), rtt in result.mean_rtt_ms.items()
+        if c == "UK" and sld == "whatsapp.net"
+    ]
+    assert uk_whatsapp and max(uk_whatsapp) < 45.0
+
+    # Resolver spread: African countries see a far wider spread across
+    # resolvers than the U.K. does (the whole point of the appendix).
+    def max_spread(country):
+        spreads = [
+            result.resolver_spread(country, sld) or 0.0
+            for sld in result.top_domains[country]
+        ]
+        return max(spreads) if spreads else 0.0
+
+    assert max_spread("Nigeria") > max_spread("UK")
+    assert max_spread("Congo") > 50.0

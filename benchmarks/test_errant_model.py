@@ -1,0 +1,35 @@
+"""Benchmark: the released ERRANT data-driven model — fit GEO profiles
+from the measured dataset and compare against other technologies."""
+
+import pytest
+
+from repro.errant.emulator import compare_profiles
+from repro.errant.model import fit_profile
+from repro.errant.profiles import BUILTIN_PROFILES
+
+
+@pytest.mark.benchmark(group="errant")
+def test_errant_model_fit_and_comparison(benchmark, frame, save_result):
+    profile = benchmark(fit_profile, frame, "Spain")
+
+    profiles = dict(BUILTIN_PROFILES)
+    profiles[profile.name] = profile
+    profiles["geo-satcom-congo-peak"] = fit_profile(frame, "Congo", peak_only=True)
+    times = compare_profiles(profiles, size_bytes=1_000_000, n=250, seed=1)
+
+    lines = ["ERRANT profile comparison — mean time to fetch 1 MB (s)"]
+    for name, value in sorted(times.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {name:28s} {value:6.2f}")
+    lines.append(
+        f"fitted {profile.name}: rtt median {profile.rtt_median_ms:.0f} ms, "
+        f"down median {profile.down_median_mbps:.1f} Mb/s"
+    )
+    save_result("errant_model", "\n".join(lines))
+
+    # Fitted GEO profile carries the 550 ms floor.
+    assert profile.rtt_median_ms > 550.0
+    # Technology ordering: FTTH < Starlink < GEO (the comparison the
+    # paper's released model enables, with Starlink data from [26]).
+    assert times["ftth"] < times["starlink"] < times[profile.name]
+    # Congested Congo at peak is the slowest GEO flavour.
+    assert times["geo-satcom-congo-peak"] >= times[profile.name] * 0.9

@@ -1,0 +1,25 @@
+"""Extension benchmark: page-load QoE — GEO countries vs other access
+technologies (the study the released ERRANT model enables)."""
+
+import pytest
+
+from repro.analysis.reports import web_qoe
+
+
+@pytest.mark.benchmark(group="extension")
+def test_web_qoe_extension(benchmark, frame, save_result):
+    result = benchmark(web_qoe.compute, frame)
+    save_result("extension_web_qoe", web_qoe.render(result))
+
+    # Every GEO country loads pages slower than Starlink, which is
+    # slower than FTTH — the cross-technology ordering of [26].
+    slowest_geo = max(stats.median for stats in result.country_plt.values())
+    fastest_geo = min(stats.median for stats in result.country_plt.values())
+    assert fastest_geo > result.median_plt("starlink")
+    assert result.median_plt("starlink") > result.median_plt("ftth")
+
+    # Congested Congo is the worst place to browse from.
+    assert result.median_plt("Congo") == pytest.approx(slowest_geo, rel=0.01)
+    # GEO pages take many seconds; FTTH stays within a couple.
+    assert result.median_plt("Congo") > 5.0
+    assert result.median_plt("ftth") < 2.5

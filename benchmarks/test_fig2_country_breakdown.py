@@ -1,0 +1,28 @@
+"""Benchmark: Figure 2 — per-country volume and customer shares."""
+
+import pytest
+
+from repro.analysis.reports import fig2_country
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_country_breakdown(benchmark, frame, save_result):
+    result = benchmark(fig2_country.compute, frame)
+    congo_mb = fig2_country.mean_daily_download_mb(frame, "Congo")
+    spain_mb = fig2_country.mean_daily_download_mb(frame, "Spain")
+    save_result(
+        "fig2_country",
+        fig2_country.render(result)
+        + f"\nMean daily download: Congo {congo_mb:.0f} MB (paper ~600), "
+        f"Spain {spain_mb:.0f} MB (paper ~170)",
+    )
+
+    # Congo over-indexes (27 % volume on 20 % customers), Spain
+    # under-indexes (10 % on 16 %).
+    assert result.over_indexes("Congo")
+    assert not result.over_indexes("Spain")
+    congo_vol, congo_cust = result.shares("Congo")
+    assert congo_cust == pytest.approx(20.0, abs=4.0)
+    assert congo_vol > congo_cust + 4.0
+    # African subscriptions move several times more data each
+    assert congo_mb > 2.5 * spain_mb

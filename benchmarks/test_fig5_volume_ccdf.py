@@ -1,0 +1,22 @@
+"""Benchmark: Figure 5 — per-customer daily flows/volume CCDFs."""
+
+import pytest
+
+from repro.analysis.reports import fig5_volumes
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_volume_ccdfs(benchmark, frame, save_result):
+    result = benchmark(fig5_volumes.compute, frame)
+    save_result("fig5_volumes", fig5_volumes.render(result))
+
+    # (a) the European idle knee: >50 % of customers under 250 flows/day.
+    assert result.idle_fraction("Spain") > 0.45
+    assert result.idle_fraction("UK") > 0.45
+    # African customers generate several times more flows.
+    assert result.median_flows("Congo") > 3 * result.median_flows("Spain")
+    # (b) heavy downloaders: Congo ≈ 2× Spain (paper 8 % vs 4 %).
+    assert result.heavy_downloader_pct("Congo") > 1.3 * result.heavy_downloader_pct("Spain")
+    # (c) heavy uploaders: Africa clearly above Europe.
+    assert result.heavy_uploader_pct("Congo") > result.heavy_uploader_pct("Ireland")
+    assert result.heavy_uploader_pct("Nigeria") > 3.0

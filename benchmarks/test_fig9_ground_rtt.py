@@ -1,0 +1,29 @@
+"""Benchmark: Figure 9 — ground-segment RTT per country."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import fig9_ground_rtt
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_ground_rtt(benchmark, frame, save_result):
+    result = benchmark(fig9_ground_rtt.compute, frame)
+    save_result("fig9_ground_rtt", fig9_ground_rtt.render(result))
+
+    # European traffic: >80 % under ~40 ms (peered + European CDNs).
+    for country in ("Spain", "UK", "Ireland"):
+        assert result.fraction_below(country, 40.0) > 0.80, country
+
+    # The ~12 ms peered-CDN bump exists (mass below 15 ms).
+    assert result.fraction_below("UK", 15.0) > 0.20
+
+    # African countries see *higher* ground RTT than Europe —
+    # the single-ground-station detour.
+    africa = np.mean([result.median_ms(c) for c in ("Congo", "Nigeria", "South Africa")])
+    europe = np.mean([result.median_ms(c) for c in ("Spain", "UK", "Ireland")])
+    assert africa > europe
+
+    # The 300–400 ms right bumps (local African/Chinese services).
+    assert result.fraction_above("Congo", 250.0) > 0.01
+    assert result.fraction_above("Congo", 250.0) > 3 * result.fraction_above("Spain", 250.0)

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot paths (probe, generator, classifier,
+rollup). Not paper experiments — performance engineering guardrails for
+the library itself."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import ServiceClassifier
+from repro.analysis.rollup import HourlyRollup
+from repro.flowmeter.meter import FlowMeter
+from repro.net.packet import IPProtocol, Packet, TCPFlags
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+
+def _packet_stream(n_flows=200, pkts_per_flow=50):
+    packets = []
+    for flow in range(n_flows):
+        src = 0x0A000000 + flow
+        port = 40000 + flow
+        packets.append(Packet(
+            src_ip=src, dst_ip=0x17000001, src_port=port, dst_port=443,
+            protocol=IPProtocol.TCP, flags=TCPFlags.SYN, timestamp=0.0,
+        ))
+        for k in range(pkts_per_flow):
+            packets.append(Packet(
+                src_ip=src, dst_ip=0x17000001, src_port=port, dst_port=443,
+                protocol=IPProtocol.TCP, flags=TCPFlags.ACK | TCPFlags.PSH,
+                seq=1 + k * 100, ack=1, payload=b"z" * 100,
+                timestamp=0.001 * k,
+            ))
+    return packets
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_flowmeter_throughput(benchmark):
+    packets = _packet_stream()
+
+    def run():
+        meter = FlowMeter()
+        for packet in packets:
+            meter.process(packet)
+        meter.flush_all()
+        return meter
+
+    meter = benchmark(run)
+    assert len(meter.records) == 200
+    # keep an eye on per-packet cost: this path must stay >50k pkts/s
+    assert meter.packets_processed == len(packets)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_generator_throughput(benchmark):
+    def run():
+        return WorkloadGenerator(
+            WorkloadConfig(n_customers=150, days=2, seed=9)
+        ).generate()
+
+    frame = benchmark(run)
+    assert len(frame) > 50_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_classifier_pool(benchmark, frame):
+    classifier = ServiceClassifier()
+
+    def run():
+        fresh = ServiceClassifier()
+        return fresh.classify_pool(frame.domains)
+
+    labels, names = benchmark(run)
+    assert len(labels) == len(frame.domains)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_rollup(benchmark, frame):
+    rollup = benchmark(HourlyRollup.from_frame, frame)
+    assert len(rollup) > 100
+    assert rollup.reduction_factor(frame) > 10

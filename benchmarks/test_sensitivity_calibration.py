@@ -1,0 +1,80 @@
+"""Sensitivity analysis: the reproduced shapes must be robust bands,
+not knife-edge calibrations.
+
+We perturb the two most influential fitted parameters — the PEP
+setup-delay scale (drives Congo's tail) and the channel decay constant
+(drives Ireland's tail) — by ±40 % and check that Figure 8a's
+qualitative claims survive every corner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import format_table
+from repro.internet.geo import COUNTRIES
+from repro.satcom.channel import ChannelModel
+from repro.satcom.delay_model import SatelliteRttModel
+from repro.satcom.pep import PepCapacityModel
+
+
+def _fig8_stats(model: SatelliteRttModel, rng) -> dict:
+    out = {}
+    for country, hour_local in (("Congo", 3.0), ("Spain", 3.0), ("Ireland", 19.0)):
+        hour_utc = (hour_local - COUNTRIES[country].lon_deg / 15.0) % 24
+        beams = model.beam_map.beams_for(country)
+        samples = np.concatenate(
+            [model.sample_handshake_rtt_s(country, hour_utc, rng, 1500, beam=b) for b in beams]
+        )
+        out[country] = {
+            "under_1s": float((samples < 1.0).mean()),
+            "over_2s": float((samples > 2.0).mean()),
+            "min": float(samples.min()),
+        }
+    return out
+
+
+def _sweep(rng):
+    results = {}
+    for pep_factor in (0.6, 1.0, 1.4):
+        for decay_factor in (0.6, 1.0, 1.4):
+            model = SatelliteRttModel(
+                pep=PepCapacityModel(setup_scale_s=0.080 * pep_factor),
+                channel=ChannelModel(decay_deg=3.5 * decay_factor),
+            )
+            results[(pep_factor, decay_factor)] = _fig8_stats(model, rng)
+    return results
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_calibration_sensitivity(benchmark, save_result):
+    rng = np.random.default_rng(13)
+    results = benchmark(_sweep, rng)
+
+    rows = []
+    for (pep, decay), stats in results.items():
+        rows.append(
+            (
+                f"{pep:.1f}x",
+                f"{decay:.1f}x",
+                f"{stats['Spain']['under_1s'] * 100:.0f} %",
+                f"{stats['Congo']['over_2s'] * 100:.0f} %",
+                f"{stats['Ireland']['over_2s'] * 100:.0f} %",
+            )
+        )
+    save_result(
+        "sensitivity_calibration",
+        format_table(
+            ["PEP scale", "decay", "Spain night <1s", "Congo night >2s", "Ireland peak >2s"],
+            rows,
+            title="Sensitivity: Figure 8a claims under ±40 % parameter perturbation",
+        ),
+    )
+
+    for stats in results.values():
+        # the physical floor is parameter-independent
+        for country in ("Congo", "Spain", "Ireland"):
+            assert stats[country]["min"] > 0.5
+        # Spain stays clearly better than Congo at night in every corner
+        assert stats["Spain"]["under_1s"] > 0.55
+        assert stats["Congo"]["over_2s"] > stats["Spain"]["over_2s"]
+        assert stats["Congo"]["over_2s"] > 0.03

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scenario: how community WiFi reshapes African SatCom traffic.
+
+The paper's Sections 4–5 attribute the African usage pattern — morning
+peaks, order-of-magnitude more flows per subscription, chat volumes
+hundreds of times larger — to community WiFi points and internet cafés
+sharing one subscription among many users. This example isolates that
+mechanism: it compares the measured distributions per subscriber type
+and regenerates the Figure 4/5/7 views.
+
+Run:  python examples/community_wifi_africa.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table
+from repro.analysis.reports import fig4_diurnal, fig5_volumes, fig7_service_volume
+from repro.pipeline import generate_flow_dataset
+from repro.traffic.services import ServiceCategory
+from repro.traffic.subscribers import SubscriberType
+from repro.traffic.workload import WorkloadConfig
+
+
+def per_type_breakdown(frame) -> str:
+    """Daily flows and volume per subscriber type, Africa vs Europe."""
+    africa = np.zeros(len(frame), dtype=bool)
+    for country in ("Congo", "Nigeria", "South Africa"):
+        africa |= frame.country_mask(country)
+    rows = []
+    ones = np.ones(len(frame))
+    for sub_type in SubscriberType:
+        mask = africa & (frame.subscriber_type == int(sub_type))
+        if not mask.any():
+            continue
+        flows = frame.customer_day_totals(ones, mask)
+        volume = frame.customer_day_totals(frame.bytes_total(), mask)
+        rows.append(
+            (
+                sub_type.name.lower(),
+                len({c for c, _ in flows}),
+                f"{np.median(list(flows.values())):.0f}",
+                f"{np.median(list(volume.values())) / 1e6:.0f}",
+                f"{np.quantile(list(volume.values()), 0.95) / 1e9:.1f}",
+            )
+        )
+    return format_table(
+        ["Type", "Customers", "Median flows/day", "Median MB/day", "p95 GB/day"],
+        rows,
+        title="African subscriptions by type (the community-AP effect)",
+    )
+
+
+def main() -> None:
+    frame, _ = generate_flow_dataset(WorkloadConfig(n_customers=500, days=4, seed=9))
+
+    print(per_type_breakdown(frame))
+    print()
+
+    diurnal = fig4_diurnal.compute(frame)
+    print(fig4_diurnal.render(diurnal))
+    print(
+        f"\nCongo peaks at {diurnal.peak_hour_utc('Congo')}:00 UTC — business-hours "
+        f"usage of shared access points — versus {diurnal.peak_hour_utc('Spain')}:00 "
+        "UTC leisure prime time in Spain.\n"
+    )
+
+    volumes = fig5_volumes.compute(frame)
+    print(fig5_volumes.render(volumes))
+    ratio = volumes.median_flows("Congo") / volumes.median_flows("Spain")
+    print(f"\nA median Congolese subscription carries {ratio:.0f}× the daily flows "
+          "of a Spanish one.\n")
+
+    categories = fig7_service_volume.compute(frame)
+    print(fig7_service_volume.render(categories))
+    chat_gap = categories.median_mb(ServiceCategory.CHAT, "Congo") / max(
+        categories.median_mb(ServiceCategory.CHAT, "Spain"), 0.1
+    )
+    print(
+        f"\nChat volume gap Congo/Spain: {chat_gap:.0f}× — 'hardly consistent with "
+        "sole or domestic use' (Section 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

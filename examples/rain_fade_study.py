@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Extension study: rain fade on the satellite channel.
+
+The paper's channel observations are time-averaged; operational Ka/Ku
+links additionally suffer episodic rain attenuation. This example uses
+the :class:`RainFadeProcess` extension to ask: what happens to the
+Figure 8a satellite-RTT distributions when a tropical beam spends part
+of its time in fade?
+
+Run:  python examples/rain_fade_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table
+from repro.internet.geo import COUNTRIES
+from repro.satcom.channel import RainFadeProcess
+from repro.satcom.delay_model import SatelliteRttModel
+
+
+def sample_with_weather(
+    model: SatelliteRttModel,
+    country: str,
+    fade: RainFadeProcess,
+    rng: np.random.Generator,
+    n: int = 8000,
+) -> np.ndarray:
+    """Handshake RTTs with per-flow weather drawn from the fade process."""
+    location = COUNTRIES[country]
+    beam = model.beam_map.beams_for(country)[0]
+    hour_local = 19.0
+    utilization = model.beam_map.utilization(beam, hour_local)
+    pep_load = model.beam_map.pep_utilization(beam, hour_local)
+    elevation = model.geometry.elevation_angle_deg(location)
+
+    base = model.sample_handshake_rtt_bulk(
+        country, np.full(n, utilization), np.full(n, pep_load), rng
+    )
+    # Swap the clear-sky ARQ contribution for a weather-aware one.
+    weather = fade.sample_weather_factor(rng, n)
+    clear_arq = model.channel.sample_arq_delay_s(elevation, rng, n, 6)
+    faded_arq = np.array(
+        [
+            model.channel.sample_arq_delay_s(elevation, rng, 1, 6, weather_factor=w)[0]
+            for w in weather
+        ]
+    )
+    return base - clear_arq + faded_arq
+
+
+def main() -> None:
+    model = SatelliteRttModel()
+    rng = np.random.default_rng(11)
+
+    scenarios = {
+        "clear sky": RainFadeProcess(fade_probability=0.0),
+        "temperate (2% fade)": RainFadeProcess(fade_probability=0.02),
+        "tropical (8% fade)": RainFadeProcess(fade_probability=0.08),
+        "monsoon burst (20% fade)": RainFadeProcess(fade_probability=0.20),
+    }
+
+    for country in ("Nigeria", "Ireland"):
+        rows = []
+        for label, fade in scenarios.items():
+            samples = sample_with_weather(model, country, fade, rng) * 1000.0
+            rows.append(
+                (
+                    label,
+                    f"{np.median(samples):.0f}",
+                    f"{np.quantile(samples, 0.95):.0f}",
+                    f"{(samples > 2000).mean() * 100:.1f} %",
+                )
+            )
+        print(format_table(
+            ["Weather", "Median ms", "p95 ms", ">2 s"],
+            rows,
+            title=f"Satellite RTT under rain fade — {country} (peak hour)",
+        ))
+        print()
+
+    episode = RainFadeProcess(fade_probability=0.08).sample_episode(rng)
+    print(
+        f"A sampled tropical fade episode: {episode.duration_s / 60:.1f} minutes at "
+        f"{episode.weather_factor:.1f}× the clear-sky frame-error rate.\n"
+        "Near-zenith beams (Nigeria) shrug off moderate fade; Ireland's "
+        "27° elevation channel — already impaired in clear sky — degrades "
+        "sharply, which is why coverage-edge terminals dominated the "
+        "paper's load-independent RTT tails."
+    )
+
+
+if __name__ == "__main__":
+    main()

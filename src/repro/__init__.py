@@ -1,0 +1,25 @@
+"""Reproduction of "When Satellite is All You Have: Watching the Internet
+from 550 ms" (IMC 2022).
+
+The package is organized in layers:
+
+* :mod:`repro.simnet` — discrete-event simulation engine.
+* :mod:`repro.net` — packet primitives and addressing.
+* :mod:`repro.protocols` — wire-format encoders/decoders (TLS, DNS, HTTP,
+  QUIC, RTP) used both by the packet-level simulator and the DPI module.
+* :mod:`repro.satcom` — the GEO SatCom access network: geometry, MAC,
+  channel impairments, PEP, beams, shapers, ground station.
+* :mod:`repro.internet` — the terrestrial side: geography, latency model,
+  CDNs, DNS resolvers.
+* :mod:`repro.flowmeter` — the Tstat-like passive monitor deployed at the
+  ground station.
+* :mod:`repro.traffic` — synthetic subscriber populations and workloads.
+* :mod:`repro.analysis` — the analytics that regenerate every table and
+  figure of the paper.
+* :mod:`repro.errant` — the data-driven access-link model (ERRANT).
+* :mod:`repro.pipeline` — end-to-end orchestration.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

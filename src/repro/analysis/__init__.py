@@ -1,0 +1,13 @@
+"""Analytics over flow datasets (the paper's Spark pipeline, Section 3).
+
+:mod:`repro.analysis.dataset` holds the columnar flow store;
+:mod:`repro.analysis.classify` implements the Table 3 regex service
+classifier; :mod:`repro.analysis.aggregate` the rollups; and
+:mod:`repro.analysis.reports` one module per table/figure of the paper.
+"""
+
+from repro.analysis.dataset import FlowFrame
+from repro.analysis.classify import ServiceClassifier
+from repro.analysis.stats import ccdf, boxplot_stats, quantiles
+
+__all__ = ["FlowFrame", "ServiceClassifier", "ccdf", "boxplot_stats", "quantiles"]

@@ -1,0 +1,159 @@
+"""Shared aggregation primitives for the report modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.dataset import FlowFrame
+from repro.constants import ACTIVE_CUSTOMER_FLOW_THRESHOLD
+from repro.flowmeter.records import L7Protocol, L7_ORDER
+from repro.internet.geo import COUNTRIES
+
+
+def protocol_volume_share(frame: FlowFrame, mask: Optional[np.ndarray] = None) -> Dict[str, float]:
+    """Volume share (percent) per protocol label (Table 1 / Figure 3)."""
+    if mask is None:
+        mask = np.ones(len(frame), dtype=bool)
+    volume = frame.bytes_total()[mask]
+    l7 = frame.l7_idx[mask]
+    total = volume.sum()
+    if total <= 0:
+        return {label.value: 0.0 for label in L7_ORDER}
+    return {
+        label.value: float(volume[l7 == i].sum() / total * 100.0)
+        for i, label in enumerate(L7_ORDER)
+    }
+
+
+def country_breakdown(frame: FlowFrame) -> List[Tuple[str, float, float]]:
+    """(country, volume %, customer %) sorted by decreasing volume (Fig. 2)."""
+    volume = frame.bytes_total()
+    total_volume = volume.sum()
+    total_customers = len(np.unique(frame.customer_id))
+    rows: List[Tuple[str, float, float]] = []
+    for country, mask in frame.groupby_country().items():
+        vol_pct = float(volume[mask].sum() / total_volume * 100.0)
+        cust_pct = float(len(np.unique(frame.customer_id[mask])) / total_customers * 100.0)
+        rows.append((country, vol_pct, cust_pct))
+    rows.sort(key=lambda row: -row[1])
+    return rows
+
+
+def top_countries_by_volume(frame: FlowFrame, n: int = 10) -> List[str]:
+    """The top-``n`` countries by traffic volume."""
+    return [row[0] for row in country_breakdown(frame)[:n]]
+
+
+def hourly_volume_utc(frame: FlowFrame, country: str, robust: bool = True) -> np.ndarray:
+    """Volume per UTC hour, normalized to its own maximum (Fig. 4).
+
+    The paper averages three months of traffic; short synthetic
+    captures are vulnerable to a single binge day dominating an hour,
+    so by default we take the *median across days* per hour bin (set
+    ``robust=False`` for the plain sum).
+    """
+    mask = frame.country_mask(country)
+    hours = frame.hour_utc[mask].astype(int) % 24
+    volume = frame.bytes_total()[mask]
+    if robust:
+        days = frame.day[mask]
+        day_values = np.unique(days)
+        per_day = np.zeros((len(day_values), 24))
+        for row, day in enumerate(day_values):
+            day_mask = days == day
+            np.add.at(per_day[row], hours[day_mask], volume[day_mask])
+        totals = np.median(per_day, axis=0)
+    else:
+        totals = np.zeros(24)
+        np.add.at(totals, hours, volume)
+    peak = totals.max()
+    return totals / peak if peak > 0 else totals
+
+
+def local_hour_of(frame: FlowFrame) -> np.ndarray:
+    """Approximate local hour per flow (longitude/15 offset)."""
+    offsets = np.array(
+        [COUNTRIES[name].lon_deg / 15.0 for name in frame.countries], dtype=np.float64
+    )
+    return (frame.hour_utc + offsets[frame.country_idx]) % 24.0
+
+
+def customer_day_flow_counts(frame: FlowFrame, country: str) -> np.ndarray:
+    """Flows per (customer, day) for one country (Figure 5a samples)."""
+    mask = frame.country_mask(country)
+    totals = frame.customer_day_totals(np.ones(len(frame)), mask)
+    return np.array(list(totals.values()), dtype=np.float64)
+
+
+def customer_day_bytes(
+    frame: FlowFrame,
+    country: str,
+    direction: str = "down",
+    active_only: bool = True,
+) -> np.ndarray:
+    """Daily bytes per customer (Figures 5b/5c samples).
+
+    ``active_only`` applies the paper's ≥250 flows/day filter.
+    """
+    if direction not in ("down", "up"):
+        raise ValueError("direction must be 'down' or 'up'")
+    mask = frame.country_mask(country)
+    value = frame.bytes_down if direction == "down" else frame.bytes_up
+    volumes = frame.customer_day_totals(value, mask)
+    if not active_only:
+        return np.array(list(volumes.values()), dtype=np.float64)
+    counts = frame.customer_day_totals(np.ones(len(frame)), mask)
+    active = {
+        key for key, count in counts.items() if count >= ACTIVE_CUSTOMER_FLOW_THRESHOLD
+    }
+    return np.array(
+        [volume for key, volume in volumes.items() if key in active], dtype=np.float64
+    )
+
+
+def customers_per_country(frame: FlowFrame) -> Dict[str, int]:
+    """Distinct customers observed per country."""
+    return {
+        country: int(len(np.unique(frame.customer_id[mask])))
+        for country, mask in frame.groupby_country().items()
+    }
+
+
+def dominant_resolver_per_customer(frame: FlowFrame) -> Dict[int, int]:
+    """customer → most-used resolver index, from DNS flows.
+
+    This mirrors the paper's join for Table 2: TCP flows don't carry the
+    resolver, so the analysis attributes each customer to the resolver
+    answering most of its DNS queries.
+    """
+    dns_mask = frame.resolver_idx >= 0
+    customers = frame.customer_id[dns_mask]
+    resolvers = frame.resolver_idx[dns_mask]
+    out: Dict[int, Dict[int, int]] = {}
+    for customer, resolver in zip(customers, resolvers):
+        out.setdefault(int(customer), {}).setdefault(int(resolver), 0)
+        out[int(customer)][int(resolver)] += 1
+    return {
+        customer: max(counts, key=counts.get) for customer, counts in out.items()
+    }
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Plain-text table used by every report's ``render``."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Data enrichment: country from the *anonymized* customer address.
+
+Section 3.1: "we enrich the data by adding information about the
+customer's country (obtained by mapping the encrypted customer subnet
+to the corresponding country with the support of the SatCom operator)".
+
+This works because CryptoPan is prefix-preserving: the operator's
+per-country address pools map to stable anonymized prefixes, so whoever
+holds the key (or a table of anonymized pool prefixes) can label
+countries without ever seeing a real address. :class:`CountryEnricher`
+reproduces exactly that join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.internet.geo import COUNTRIES
+from repro.net.cryptopan import PrefixPreservingAnonymizer
+from repro.net.inet import ip_to_int
+
+#: The operator's per-country /16 pools (mirrors the packet-level
+#: network's address plan in :mod:`repro.satcom.network`).
+_BASE_CUSTOMER_NET = "100.64.0.0"
+POOL_PREFIX_LEN = 16
+
+
+def country_pools() -> Dict[str, int]:
+    """country → pool base address (one /16 per country)."""
+    base = ip_to_int(_BASE_CUSTOMER_NET)
+    return {
+        name: base + (index << 16) for index, name in enumerate(COUNTRIES)
+    }
+
+
+class CountryEnricher:
+    """Maps anonymized customer addresses back to countries.
+
+    Built from the anonymizer key (operator side) or from a precomputed
+    table of anonymized pool prefixes (analyst side — what the paper's
+    authors received).
+    """
+
+    def __init__(self, anonymized_prefix_to_country: Dict[int, str]) -> None:
+        self._table = dict(anonymized_prefix_to_country)
+
+    @classmethod
+    def from_anonymizer(
+        cls,
+        anonymizer: PrefixPreservingAnonymizer,
+        pools: Optional[Dict[str, int]] = None,
+        prefix_len: int = POOL_PREFIX_LEN,
+    ) -> "CountryEnricher":
+        """Anonymize each pool's base; prefix preservation guarantees
+        every address in the pool shares the anonymized prefix."""
+        pools = pools or country_pools()
+        shift = 32 - prefix_len
+        table = {
+            anonymizer.anonymize_int(base) >> shift: country
+            for country, base in pools.items()
+        }
+        return cls(table)
+
+    def country_of(self, anonymized_address: int) -> Optional[str]:
+        """Country of an anonymized customer address (None if unknown)."""
+        return self._table.get(anonymized_address >> (32 - POOL_PREFIX_LEN))
+
+    def label_records(self, records: Iterable) -> Dict[int, str]:
+        """client_ip → country over a batch of flow records."""
+        out: Dict[int, str] = {}
+        for record in records:
+            country = self.country_of(record.client_ip)
+            if country is not None:
+                out[record.client_ip] = country
+        return out

@@ -1,0 +1,93 @@
+"""Terminal plots: ASCII CDFs and sparklines.
+
+The paper's evaluation is mostly CDFs/CCDFs; these helpers let the
+report renders and examples show distribution *shapes* in a terminal
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line bar chart (e.g. the Figure 4 hourly curves).
+
+    >>> sparkline([0, 1, 2, 3])[0]
+    ' '
+    """
+    data = np.asarray(list(values), dtype=float)
+    if width is not None and len(data) > width:
+        idx = np.linspace(0, len(data) - 1, width).astype(int)
+        data = data[idx]
+    finite = data[np.isfinite(data)]
+    if len(finite) == 0:
+        return ""
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low or 1.0
+    out = []
+    for value in data:
+        if not np.isfinite(value):
+            out.append(" ")
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def ascii_cdf(
+    series: Dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 12,
+    x_log: bool = True,
+    x_label: str = "",
+) -> str:
+    """Plot one or more empirical CDFs as ASCII art.
+
+    ``series`` maps a label to its samples; each series is drawn with
+    its own marker character. The x-axis is log-scaled by default (like
+    Figures 5, 8 and 11).
+    """
+    markers = "*o+x#@%&"
+    cleaned = {
+        label: np.sort(np.asarray(values, dtype=float)[np.isfinite(values)])
+        for label, values in series.items()
+    }
+    cleaned = {label: v for label, v in cleaned.items() if len(v) > 0}
+    if not cleaned:
+        return "(no data)"
+
+    lo = min(v[0] for v in cleaned.values())
+    hi = max(v[-1] for v in cleaned.values())
+    if x_log:
+        lo = max(lo, 1e-9)
+        xs = np.logspace(np.log10(lo), np.log10(max(hi, lo * 1.001)), width)
+    else:
+        xs = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, values), marker in zip(cleaned.items(), markers):
+        fractions = np.searchsorted(values, xs, side="right") / len(values)
+        for col, fraction in enumerate(fractions):
+            row = height - 1 - int(fraction * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_value = 1.0 - i / (height - 1)
+        lines.append(f"{y_value:4.2f} |" + "".join(row))
+    axis = "     +" + "-" * width
+    lines.append(axis)
+    if x_log:
+        lines.append(f"      {lo:.3g}  (log x)  {hi:.3g}  {x_label}")
+    else:
+        lines.append(f"      {lo:.3g}  →  {hi:.3g}  {x_label}")
+    legend = "      " + "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(cleaned.items(), markers)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every module exposes ``compute(frame, ...)`` returning a typed result,
+a ``PAPER_*`` constant with the published values for comparison, and
+``render(result)`` producing the text the benchmark harness prints.
+"""
+
+from repro.analysis.reports import (
+    appendix_ground_rtt,
+    web_qoe,
+    fig2_country,
+    fig3_protocol_country,
+    fig4_diurnal,
+    fig5_volumes,
+    fig6_service_popularity,
+    fig7_service_volume,
+    fig8_satellite_rtt,
+    fig9_ground_rtt,
+    fig10_dns,
+    fig11_throughput,
+    table1_protocols,
+    table2_resolver_rtt,
+)
+
+__all__ = [
+    "appendix_ground_rtt",
+    "web_qoe",
+    "table1_protocols",
+    "fig2_country",
+    "fig3_protocol_country",
+    "fig4_diurnal",
+    "fig5_volumes",
+    "fig6_service_popularity",
+    "fig7_service_volume",
+    "fig8_satellite_rtt",
+    "fig9_ground_rtt",
+    "fig10_dns",
+    "table2_resolver_rtt",
+    "fig11_throughput",
+]

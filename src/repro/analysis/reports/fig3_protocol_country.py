@@ -1,0 +1,48 @@
+"""Figure 3 — protocol share per country (top-10 by volume).
+
+Paper's observations: Germany's TCP is ~35 % non-web (VPNs); Ireland
+and the U.K. carry more plain HTTP than the rest (Sky video, Microsoft
+updates); the three African countries look alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.aggregate import (
+    format_table,
+    protocol_volume_share,
+    top_countries_by_volume,
+)
+from repro.analysis.dataset import FlowFrame
+
+
+@dataclass
+class Fig3Result:
+    """country → {protocol label → volume %}."""
+
+    shares: Dict[str, Dict[str, float]]
+
+    def share(self, country: str, label: str) -> float:
+        return self.shares[country][label]
+
+
+def compute(frame: FlowFrame, top: int = 10) -> Fig3Result:
+    """Protocol mix per top-``top`` country."""
+    shares: Dict[str, Dict[str, float]] = {}
+    for country in top_countries_by_volume(frame, top):
+        shares[country] = protocol_volume_share(frame, frame.country_mask(country))
+    return Fig3Result(shares=shares)
+
+
+def render(result: Fig3Result) -> str:
+    labels = ["tcp/https", "tcp/http", "tcp/other", "udp/quic", "udp/rtp", "udp/other"]
+    rows: List[List[str]] = []
+    for country, shares in result.shares.items():
+        rows.append([country] + [f"{shares[label]:.1f}" for label in labels])
+    return format_table(
+        ["Country"] + labels,
+        rows,
+        title="Figure 3: protocol volume share per country (%)",
+    )

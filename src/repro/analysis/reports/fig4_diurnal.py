@@ -1,0 +1,64 @@
+"""Figure 4 — daily traffic trends per country (UTC, normalized).
+
+Paper: European traffic peaks 18:00–20:00 UTC, drops to ~50 % in the
+morning and ~20 % at night. African countries are busy all morning —
+Congo's absolute peak is 9:00 UTC (10:00 local) — and the nightly low
+stays near 40 % of peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table, hourly_volume_utc
+from repro.analysis.dataset import FlowFrame
+from repro.traffic.profiles import TOP_COUNTRIES
+
+
+@dataclass
+class Fig4Result:
+    """country → 24 hourly volumes normalized to that country's max."""
+
+    curves: Dict[str, np.ndarray]
+
+    def peak_hour_utc(self, country: str) -> int:
+        return int(np.argmax(self.curves[country]))
+
+    def night_floor(self, country: str) -> float:
+        """Minimum of the normalized curve over 0:00–5:00 UTC-ish hours."""
+        return float(self.curves[country].min())
+
+    def morning_level(self, country: str, hour_utc: int = 9) -> float:
+        """Normalized volume at ``hour_utc`` (Congo peaks here)."""
+        return float(self.curves[country][hour_utc])
+
+
+def compute(frame: FlowFrame, countries: Sequence[str] = TOP_COUNTRIES) -> Fig4Result:
+    """Normalized hourly curves for the requested countries."""
+    return Fig4Result(
+        curves={country: hourly_volume_utc(frame, country) for country in countries}
+    )
+
+
+def render(result: Fig4Result) -> str:
+    from repro.analysis.plotting import sparkline
+
+    rows = []
+    for country, curve in result.curves.items():
+        rows.append(
+            (
+                country,
+                result.peak_hour_utc(country),
+                f"{result.morning_level(country):.2f}",
+                f"{result.night_floor(country):.2f}",
+                sparkline(curve),
+            )
+        )
+    return format_table(
+        ["Country", "Peak hour (UTC)", "9:00 level", "Night floor", "0h ──────────── 23h"],
+        rows,
+        title="Figure 4: diurnal pattern (volumes normalized per country)",
+    )

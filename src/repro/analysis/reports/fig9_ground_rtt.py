@@ -1,0 +1,92 @@
+"""Figure 9 — ground-segment RTT (ground station → server) per country.
+
+Paper: the CDF has bumps at ~12 ms (peered CDNs, ~20 % of traffic),
+15–17 ms and ~35 ms (European CDNs/clouds, >80 % of European traffic
+below ~40 ms), ~95 ms (US East), ~180 ms (US West), and 300–400 ms for
+African countries whose local services are reached back through the
+Italian ground station. African countries therefore see *higher*
+ground RTT than European ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table
+from repro.analysis.dataset import FlowFrame
+from repro.analysis.stats import cdf_at
+from repro.flowmeter.records import L7Protocol, L7_ORDER
+from repro.traffic.profiles import TOP_COUNTRIES
+
+PAPER_EU_BELOW_40MS = 0.80
+PAPER_PEERED_BUMP_MS = 12.0
+PAPER_AFRICA_TAIL_MS = (300.0, 400.0)
+
+
+@dataclass
+class Fig9Result:
+    """country → ground-RTT samples (ms, volume-weighted medians too)."""
+
+    samples: Dict[str, np.ndarray]
+    volume_weighted_share_below: Dict[str, Dict[float, float]]
+
+    def median_ms(self, country: str) -> float:
+        return float(np.median(self.samples[country]))
+
+    def fraction_below(self, country: str, ms: float) -> float:
+        return cdf_at(self.samples[country], ms)
+
+    def fraction_above(self, country: str, ms: float) -> float:
+        return 1.0 - self.fraction_below(country, ms)
+
+
+def compute(
+    frame: FlowFrame,
+    countries: Sequence[str] = TOP_COUNTRIES,
+    thresholds=(15.0, 40.0, 120.0, 250.0),
+) -> Fig9Result:
+    """Ground-RTT distributions per country over TCP flows."""
+    tcp_mask = np.isin(
+        frame.l7_idx,
+        [
+            L7_ORDER.index(L7Protocol.HTTPS),
+            L7_ORDER.index(L7Protocol.HTTP),
+            L7_ORDER.index(L7Protocol.OTHER_TCP),
+        ],
+    )
+    has_rtt = np.isfinite(frame.ground_rtt_ms)
+    volume = frame.bytes_total()
+    samples: Dict[str, np.ndarray] = {}
+    weighted: Dict[str, Dict[float, float]] = {}
+    for country in countries:
+        mask = frame.country_mask(country) & tcp_mask & has_rtt
+        rtt = frame.ground_rtt_ms[mask].astype(np.float64)
+        samples[country] = rtt
+        vol = volume[mask]
+        total = vol.sum()
+        weighted[country] = {
+            threshold: float(vol[rtt <= threshold].sum() / total) if total else float("nan")
+            for threshold in thresholds
+        }
+    return Fig9Result(samples=samples, volume_weighted_share_below=weighted)
+
+
+def render(result: Fig9Result) -> str:
+    rows = []
+    for country, rtt in result.samples.items():
+        rows.append(
+            (
+                country,
+                f"{result.median_ms(country):.0f}",
+                f"{result.fraction_below(country, 40.0) * 100:.0f} %",
+                f"{result.fraction_above(country, 250.0) * 100:.1f} %",
+            )
+        )
+    return format_table(
+        ["Country", "Median ms", "<40 ms", ">250 ms"],
+        rows,
+        title="Figure 9: ground RTT per country",
+    )

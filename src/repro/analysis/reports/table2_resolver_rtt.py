@@ -1,0 +1,130 @@
+"""Table 2 (and appendix Tables 4–5) — ground RTT per domain × resolver.
+
+The paper joins TCP flows to the resolver the customer used and shows
+that for African customers the resolver choice changes which CDN node
+serves a domain — e.g. ``captive.apple.com`` costs 19.1 ms for U.K.
+customers on Operator-EU but 110.4 ms for Nigerians on 114DNS — while
+for European customers the resolver barely matters, and anycast-served
+domains (``nflxvideo.net``) are immune.
+
+We reproduce the join: each customer's dominant resolver is derived
+from its DNS flows, then TCP flows are grouped by
+(country, resolver, domain pattern) and the mean ground RTT reported.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.aggregate import dominant_resolver_per_customer, format_table
+from repro.analysis.dataset import FlowFrame
+from repro.traffic.profiles import TOP_COUNTRIES
+
+#: Domain groups of Table 2 (appendix tables add more second-level
+#: domains; the benchmark may pass its own list).
+DOMAIN_GROUPS: Dict[str, str] = {
+    "captive.apple.com": r"^captive\.apple\.com$",
+    "play.googleapis.com": r"^play\.googleapis\.com$",
+    "*.nflxvideo.net": r"nflxvideo\.net$",
+    "whatsapp.net": r"whatsapp\.net$",
+    "googlevideo.com": r"googlevideo\.com$",
+    "qq.com": r"qq\.com$",
+    "scooper.news": r"scooper\.news$",
+    "tiktokcdn.com": r"tiktokcdn\.com$",
+}
+
+#: Published examples (ms): (country, resolver, domain) → mean ground RTT.
+PAPER_EXAMPLES: Dict[Tuple[str, str, str], float] = {
+    ("UK", "Operator-EU", "captive.apple.com"): 19.1,
+    ("UK", "Google", "captive.apple.com"): 26.0,
+    ("Nigeria", "Operator-EU", "captive.apple.com"): 23.1,
+    ("Nigeria", "Google", "captive.apple.com"): 38.4,
+    ("Nigeria", "114DNS", "captive.apple.com"): 110.4,
+    ("UK", "Operator-EU", "play.googleapis.com"): 16.3,
+    ("Nigeria", "Google", "play.googleapis.com"): 36.0,
+    ("Nigeria", "114DNS", "play.googleapis.com"): 114.2,
+    ("Nigeria", "114DNS", "*.nflxvideo.net"): 20.1,
+}
+
+
+@dataclass
+class Table2Result:
+    """(country, resolver, domain group) → mean ground RTT (ms)."""
+
+    mean_rtt_ms: Dict[Tuple[str, str, str], float]
+    sample_counts: Dict[Tuple[str, str, str], int]
+
+    def rtt(self, country: str, resolver: str, domain: str) -> Optional[float]:
+        return self.mean_rtt_ms.get((country, resolver, domain))
+
+
+def compute(
+    frame: FlowFrame,
+    countries: Sequence[str] = ("UK", "Nigeria"),
+    domain_groups: Optional[Dict[str, str]] = None,
+    min_samples: int = 5,
+) -> Table2Result:
+    """Mean ground RTT per (country, resolver, domain group)."""
+    groups = domain_groups or DOMAIN_GROUPS
+    compiled = {name: re.compile(pattern) for name, pattern in groups.items()}
+
+    # Label each pooled domain with its group (tiny pool → cheap).
+    pool_group = np.full(len(frame.domains), -1, dtype=np.int16)
+    group_names = list(groups)
+    for d_idx, domain in enumerate(frame.domains):
+        for g_idx, name in enumerate(group_names):
+            if compiled[name].search(domain):
+                pool_group[d_idx] = g_idx
+                break
+
+    flow_group = np.full(len(frame), -1, dtype=np.int16)
+    has_domain = frame.domain_idx >= 0
+    flow_group[has_domain] = pool_group[frame.domain_idx[has_domain]]
+
+    resolver_of = dominant_resolver_per_customer(frame)
+    flow_resolver = np.array(
+        [resolver_of.get(int(c), -1) for c in frame.customer_id], dtype=np.int16
+    )
+
+    has_rtt = np.isfinite(frame.ground_rtt_ms)
+    means: Dict[Tuple[str, str, str], float] = {}
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for country in countries:
+        c_mask = frame.country_mask(country) & has_rtt & (flow_group >= 0)
+        for r_idx, resolver in enumerate(frame.resolvers):
+            r_mask = c_mask & (flow_resolver == r_idx)
+            if not r_mask.any():
+                continue
+            for g_idx, group in enumerate(group_names):
+                values = frame.ground_rtt_ms[r_mask & (flow_group == g_idx)]
+                if len(values) >= min_samples:
+                    key = (country, resolver, group)
+                    means[key] = float(values.mean())
+                    counts[key] = int(len(values))
+    return Table2Result(mean_rtt_ms=means, sample_counts=counts)
+
+
+def render(result: Table2Result) -> str:
+    rows: List[Tuple[str, str, str, str, str]] = []
+    seen_keys = sorted(result.mean_rtt_ms)
+    for key in seen_keys:
+        country, resolver, domain = key
+        paper = PAPER_EXAMPLES.get(key)
+        rows.append(
+            (
+                country,
+                resolver,
+                domain,
+                f"{result.mean_rtt_ms[key]:.1f}",
+                f"{paper:.1f}" if paper is not None else "-",
+            )
+        )
+    return format_table(
+        ["Country", "Resolver", "Domain", "Measured ms", "Paper ms"],
+        rows,
+        title="Table 2: mean ground RTT per domain and resolver",
+    )

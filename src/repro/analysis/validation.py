@@ -1,0 +1,166 @@
+"""Calibration scorecard: every headline paper number vs the dataset.
+
+One entry per quantitative claim the reproduction targets (DESIGN.md
+§5), each with the paper value, the measured value, a tolerance, and a
+pass flag — printable as a table and consumable by tests and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table
+from repro.analysis.dataset import FlowFrame
+from repro.analysis.reports import (
+    fig2_country,
+    fig4_diurnal,
+    fig5_volumes,
+    fig8_satellite_rtt,
+    fig9_ground_rtt,
+    fig10_dns,
+    table1_protocols,
+)
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper-vs-measured comparison."""
+
+    name: str
+    paper: float
+    measured: float
+    tolerance: float
+    unit: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.measured - self.paper) <= self.tolerance
+
+    @property
+    def error(self) -> float:
+        return self.measured - self.paper
+
+
+@dataclass
+class Scorecard:
+    """The full calibration scorecard."""
+
+    checks: List[Check]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.checks if c.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.checks)
+
+    def failing(self) -> List[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        rows = [
+            (
+                c.name,
+                f"{c.paper:g}{c.unit}",
+                f"{c.measured:.2f}{c.unit}",
+                f"±{c.tolerance:g}",
+                "ok" if c.passed else "MISS",
+            )
+            for c in self.checks
+        ]
+        table = format_table(
+            ["Claim", "Paper", "Measured", "Tol", ""],
+            rows,
+            title="Calibration scorecard (paper vs measured)",
+        )
+        return table + f"\n{self.passed}/{self.total} checks within tolerance"
+
+
+def build_scorecard(frame: FlowFrame) -> Scorecard:
+    """Evaluate the headline claims against ``frame``."""
+    checks: List[Check] = []
+
+    t1 = table1_protocols.compute(frame)
+    for label, paper, tol in (
+        ("tcp/https", 56.0, 8.0),
+        ("udp/quic", 19.6, 6.0),
+        ("tcp/http", 12.1, 6.0),
+        ("tcp/other", 7.0, 5.0),
+        ("udp/other", 4.2, 3.0),
+        ("udp/rtp", 1.1, 1.5),
+    ):
+        checks.append(
+            Check(f"Table1 {label} volume share", paper, t1.share(label), tol, " %")
+        )
+
+    f2 = fig2_country.compute(frame)
+    congo_vol, congo_cust = f2.shares("Congo")
+    spain_vol, spain_cust = f2.shares("Spain")
+    checks.append(Check("Fig2 Congo customer share", 20.0, congo_cust, 4.0, " %"))
+    checks.append(Check("Fig2 Congo volume share", 27.0, congo_vol, 10.0, " %"))
+    checks.append(Check("Fig2 Spain customer share", 16.0, spain_cust, 4.0, " %"))
+    checks.append(Check("Fig2 Spain volume share", 10.0, spain_vol, 6.0, " %"))
+
+    f4 = fig4_diurnal.compute(frame)
+    checks.append(Check("Fig4 Congo peak hour (UTC)", 9.0, f4.peak_hour_utc("Congo"), 2.0, "h"))
+    checks.append(Check("Fig4 Spain peak hour (UTC)", 19.0, f4.peak_hour_utc("Spain"), 2.0, "h"))
+
+    f5 = fig5_volumes.compute(frame)
+    checks.append(
+        Check("Fig5a Europe <250 flows/day", 55.0, f5.idle_fraction("Spain") * 100, 12.0, " %")
+    )
+
+    f8 = fig8_satellite_rtt.compute_fig8a(frame)
+    checks.append(
+        Check(
+            "Fig8a Spain night <1s",
+            82.0,
+            f8.fraction_under("Spain", "night", 1000.0) * 100,
+            9.0,
+            " %",
+        )
+    )
+    checks.append(
+        Check(
+            "Fig8a Congo night >2s",
+            20.0,
+            f8.fraction_over("Congo", "night", 2000.0) * 100,
+            10.0,
+            " %",
+        )
+    )
+    minimum = min(f8.minimum_ms(c) for c in f8.samples)
+    checks.append(Check("Fig8a satellite RTT floor", 550.0, minimum, 40.0, " ms"))
+
+    f9 = fig9_ground_rtt.compute(frame)
+    eu_below = np.mean(
+        [f9.fraction_below(c, 40.0) for c in ("Spain", "UK", "Ireland")]
+    )
+    checks.append(Check("Fig9 Europe ground RTT <40ms", 80.0, eu_below * 100, 12.0, " %"))
+
+    f10 = fig10_dns.compute(frame)
+    for resolver, paper in (
+        ("Operator-EU", 3.98),
+        ("Google", 21.98),
+        ("Nigerian", 119.98),
+        ("Baidu", 355.97),
+        ("114DNS", 109.98),
+    ):
+        checks.append(
+            Check(
+                f"Fig10 {resolver} median response",
+                paper,
+                f10.median_response_ms.get(resolver, float("nan")),
+                paper * 0.25,
+                " ms",
+            )
+        )
+    checks.append(
+        Check("Fig10 Google share in Congo", 85.68, f10.share("Google", "Congo"), 14.0, " %")
+    )
+
+    return Scorecard(checks=checks)

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+    python -m repro generate  --customers 600 --days 5 --out capture.npz
+    python -m repro report    --dataset capture.npz --which table1,fig2
+    python -m repro scorecard --dataset capture.npz
+    python -m repro packet-sim
+    python -m repro errant    --dataset capture.npz --country Spain --netem
+
+``generate`` synthesizes a capture; ``report`` regenerates the
+requested tables/figures; ``scorecard`` prints the calibration
+scorecard; ``packet-sim`` runs the Figure 1 packet-level validation;
+``errant`` fits and compares access-link profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.dataset import FlowFrame
+from repro.analysis.validation import build_scorecard
+from repro.traffic.workload import WorkloadConfig
+
+_REPORTS = (
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table2",
+    "fig11",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'When Satellite is All You Have' (IMC 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a flow capture")
+    gen.add_argument("--customers", type=int, default=600)
+    gen.add_argument("--days", type=int, default=5)
+    gen.add_argument("--seed", type=int, default=2022)
+    gen.add_argument("--out", default="capture.npz")
+
+    rep = sub.add_parser("report", help="regenerate tables/figures")
+    rep.add_argument("--dataset", required=True)
+    rep.add_argument(
+        "--which",
+        default="all",
+        help=f"comma list from {{{','.join(_REPORTS)}}} or 'all'",
+    )
+
+    score = sub.add_parser("scorecard", help="calibration scorecard")
+    score.add_argument("--dataset", required=True)
+
+    sub.add_parser("packet-sim", help="packet-level methodology validation")
+
+    mixed = sub.add_parser(
+        "mixed-sim", help="TLS 1.3 / HTTP / QUIC / RTP through the packet path"
+    )
+    mixed.add_argument("--country", default="Spain")
+    mixed.add_argument("--n", type=int, default=3, help="clients per protocol")
+
+    err = sub.add_parser("errant", help="fit/compare ERRANT profiles")
+    err.add_argument("--dataset", required=True)
+    err.add_argument("--country", default="Spain")
+    err.add_argument("--netem", action="store_true", help="print tc netem commands")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.pipeline import generate_flow_dataset
+
+    config = WorkloadConfig(n_customers=args.customers, days=args.days, seed=args.seed)
+    frame, generator = generate_flow_dataset(config)
+    frame.save_npz(args.out)
+    print(
+        f"wrote {args.out}: {len(frame):,} flows, "
+        f"{len(generator.population)} customers, {args.days} days"
+    )
+    return 0
+
+
+def _render_report(name: str, frame: FlowFrame) -> str:
+    from repro.analysis import reports
+
+    if name == "table1":
+        return reports.table1_protocols.render(reports.table1_protocols.compute(frame))
+    if name == "fig2":
+        return reports.fig2_country.render(reports.fig2_country.compute(frame))
+    if name == "fig3":
+        return reports.fig3_protocol_country.render(
+            reports.fig3_protocol_country.compute(frame)
+        )
+    if name == "fig4":
+        return reports.fig4_diurnal.render(reports.fig4_diurnal.compute(frame))
+    if name == "fig5":
+        return reports.fig5_volumes.render(reports.fig5_volumes.compute(frame))
+    if name == "fig6":
+        return reports.fig6_service_popularity.render(
+            reports.fig6_service_popularity.compute(frame)
+        )
+    if name == "fig7":
+        return reports.fig7_service_volume.render(
+            reports.fig7_service_volume.compute(frame)
+        )
+    if name == "fig8":
+        return reports.fig8_satellite_rtt.render(
+            reports.fig8_satellite_rtt.compute_fig8a(frame),
+            reports.fig8_satellite_rtt.compute_fig8b(frame),
+        )
+    if name == "fig9":
+        return reports.fig9_ground_rtt.render(reports.fig9_ground_rtt.compute(frame))
+    if name == "fig10":
+        return reports.fig10_dns.render(reports.fig10_dns.compute(frame))
+    if name == "table2":
+        return reports.table2_resolver_rtt.render(
+            reports.table2_resolver_rtt.compute(frame)
+        )
+    if name == "fig11":
+        return reports.fig11_throughput.render(reports.fig11_throughput.compute(frame))
+    raise ValueError(f"unknown report {name!r}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    frame = FlowFrame.load_npz(args.dataset)
+    names = list(_REPORTS) if args.which == "all" else args.which.split(",")
+    for name in names:
+        name = name.strip()
+        if name not in _REPORTS:
+            print(f"unknown report {name!r}; choose from {', '.join(_REPORTS)}", file=sys.stderr)
+            return 2
+        print(_render_report(name, frame))
+        print()
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    frame = FlowFrame.load_npz(args.dataset)
+    scorecard = build_scorecard(frame)
+    print(scorecard.render())
+    return 0 if scorecard.passed == scorecard.total else 1
+
+
+def _cmd_packet_sim(_args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.pipeline import run_packet_simulation
+
+    result = run_packet_simulation()
+    sats = np.array([r.sat_rtt_ms for r in result.tls_records])
+    grounds = np.array([r.rtt_avg_ms for r in result.tls_records])
+    print(
+        f"packet-level validation: {len(result.tls_records)} TLS flows; "
+        f"satellite RTT min/median {sats.min():.0f}/{np.median(sats):.0f} ms; "
+        f"ground RTT median {np.median(grounds):.1f} ms; "
+        f"DNS at probe "
+        f"{[round(r.dns_response_ms or 0) for r in result.dns_records]} ms"
+    )
+    return 0
+
+
+def _cmd_errant(args: argparse.Namespace) -> int:
+    from repro.errant.emulator import Emulator, compare_profiles
+    from repro.errant.model import fit_profile
+    from repro.errant.profiles import BUILTIN_PROFILES
+
+    frame = FlowFrame.load_npz(args.dataset)
+    fitted = fit_profile(frame, args.country)
+    profiles = dict(BUILTIN_PROFILES)
+    profiles[fitted.name] = fitted
+    print(
+        f"fitted {fitted.name}: rtt median {fitted.rtt_median_ms:.0f} ms, "
+        f"down {fitted.down_median_mbps:.1f} Mb/s, up {fitted.up_median_mbps:.1f} Mb/s"
+    )
+    times = compare_profiles(profiles, size_bytes=1_000_000, n=200)
+    for name, value in sorted(times.items(), key=lambda kv: kv[1]):
+        print(f"  1 MB fetch, {name:28s} {value:6.2f} s")
+    if args.netem:
+        for command in Emulator(fitted).netem_commands():
+            print(command)
+    return 0
+
+
+def _cmd_mixed_sim(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.pipeline import run_mixed_protocol_simulation
+
+    result = run_mixed_protocol_simulation(country=args.country, n_each=args.n)
+    by_l7 = {}
+    for record in result.records:
+        by_l7.setdefault(record.l7.value, []).append(record)
+    for label, records in sorted(by_l7.items()):
+        domains = {r.domain for r in records if r.domain}
+        print(f"{label:10s} {len(records):3d} flows  domains={sorted(domains)}")
+    sats = [r.sat_rtt_ms for r in result.records_of("tcp/https")]
+    rtts = [t for s in result.rtp_sessions for t in s.round_trips_s]
+    print(
+        f"TLS 1.3 satellite RTT via client CCS: median {np.median(sats):.0f} ms; "
+        f"RTP mouth-to-ear: {np.mean(rtts) * 1000:.0f} ms"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "report": _cmd_report,
+    "scorecard": _cmd_scorecard,
+    "packet-sim": _cmd_packet_sim,
+    "mixed-sim": _cmd_mixed_sim,
+    "errant": _cmd_errant,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (returns an exit code)."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

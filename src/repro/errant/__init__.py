@@ -1,0 +1,16 @@
+"""Data-driven access-link emulation (the paper's ERRANT artifact).
+
+The authors released a GEO SatCom model for their ERRANT network
+emulator so researchers can replay the measured link characteristics
+and compare them with other technologies (including Starlink, using
+data from Michel et al. 2022). We reproduce that artifact: profiles
+are fitted from measured flow datasets, ship alongside built-in
+comparison profiles, and drive a transfer/page-load emulator that can
+also emit ``tc netem``-style command lines.
+"""
+
+from repro.errant.model import AccessLinkProfile, fit_profile
+from repro.errant.profiles import BUILTIN_PROFILES
+from repro.errant.emulator import Emulator
+
+__all__ = ["AccessLinkProfile", "fit_profile", "BUILTIN_PROFILES", "Emulator"]

@@ -1,0 +1,119 @@
+"""Access-link profile: fitted log-normal RTT and rate distributions."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.analysis.aggregate import local_hour_of
+from repro.analysis.dataset import FlowFrame
+from repro.constants import BULK_FLOW_MIN_BYTES
+
+
+@dataclass(frozen=True)
+class AccessLinkProfile:
+    """Log-normal link model (the shape ERRANT profiles use).
+
+    ``rtt_median_ms`` / ``rtt_sigma`` parameterize a log-normal RTT;
+    the same for download/upload rate. ``loss_pct`` is residual packet
+    loss after link-layer recovery.
+    """
+
+    name: str
+    rtt_median_ms: float
+    rtt_sigma: float
+    down_median_mbps: float
+    down_sigma: float
+    up_median_mbps: float
+    up_sigma: float
+    loss_pct: float = 0.0
+
+    def sample_rtt_ms(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        return self.rtt_median_ms * rng.lognormal(0.0, self.rtt_sigma, n)
+
+    def sample_down_mbps(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        return self.down_median_mbps * rng.lognormal(0.0, self.down_sigma, n)
+
+    def sample_up_mbps(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        return self.up_median_mbps * rng.lognormal(0.0, self.up_sigma, n)
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AccessLinkProfile":
+        return cls(**data)
+
+
+def _lognormal_fit(values: np.ndarray) -> tuple:
+    """(median, sigma) of a log-normal fitted by log-moments."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values) & (values > 0)]
+    if len(values) < 10:
+        raise ValueError("not enough samples to fit a profile")
+    logs = np.log(values)
+    return float(np.exp(np.median(logs))), float(np.std(logs))
+
+
+def fit_profile(
+    frame: FlowFrame,
+    country: str,
+    name: Optional[str] = None,
+    peak_only: bool = False,
+) -> AccessLinkProfile:
+    """Fit a GEO SatCom profile from a measured flow dataset.
+
+    RTT comes from the TLS-estimated satellite RTT plus the ground
+    RTT of the same flows; rates come from bulk (≥10 MB) flows.
+    """
+    mask = frame.country_mask(country)
+    if peak_only:
+        local = local_hour_of(frame)
+        mask = mask & (local >= 13.0) & (local < 20.0)
+
+    sat = frame.sat_rtt_ms[mask]
+    ground = frame.ground_rtt_ms[mask]
+    rtt = sat + np.where(np.isfinite(ground), ground, 0.0)
+    rtt_median, rtt_sigma = _lognormal_fit(rtt)
+
+    throughput = frame.download_throughput_bps() / 1e6
+    bulk = mask & (frame.bytes_down >= BULK_FLOW_MIN_BYTES) & np.isfinite(throughput)
+    down_median, down_sigma = _lognormal_fit(throughput[bulk])
+
+    up_rate = frame.bytes_up * 8.0 / np.maximum(frame.duration_s, 1e-3) / 1e6
+    bulk_up = mask & (frame.bytes_up >= BULK_FLOW_MIN_BYTES / 10)
+    try:
+        up_median, up_sigma = _lognormal_fit(up_rate[bulk_up])
+    except ValueError:
+        up_median, up_sigma = down_median / 10.0, down_sigma
+    up_median = min(up_median, 5.0)  # commercial uplink cap (Section 2.1)
+
+    return AccessLinkProfile(
+        name=name or f"geo-satcom-{country.lower().replace(' ', '-')}"
+        + ("-peak" if peak_only else ""),
+        rtt_median_ms=rtt_median,
+        rtt_sigma=rtt_sigma,
+        down_median_mbps=down_median,
+        down_sigma=down_sigma,
+        up_median_mbps=up_median,
+        up_sigma=up_sigma,
+        loss_pct=0.1,
+    )
+
+
+def save_profiles(
+    profiles: Dict[str, AccessLinkProfile], path: Union[str, Path]
+) -> None:
+    """Write a profile bundle as JSON (the released-artifact format)."""
+    data = {name: profile.to_dict() for name, profile in profiles.items()}
+    Path(path).write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def load_profiles(path: Union[str, Path]) -> Dict[str, AccessLinkProfile]:
+    """Read a profile bundle written by :func:`save_profiles`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {name: AccessLinkProfile.from_dict(d) for name, d in data.items()}

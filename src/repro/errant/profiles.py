@@ -1,0 +1,71 @@
+"""Built-in comparison profiles.
+
+The paper positions its GEO model next to other access technologies;
+the Starlink numbers follow Michel et al., "A First Look at Starlink
+Performance" (IMC 2022, the paper's reference [26]): median RTT around
+40–50 ms with high variability, downlink commonly 100–250 Mb/s. The
+terrestrial profiles use the orders of magnitude of the ERRANT paper
+and common FTTH/ADSL offerings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errant.model import AccessLinkProfile
+
+BUILTIN_PROFILES: Dict[str, AccessLinkProfile] = {
+    profile.name: profile
+    for profile in (
+        AccessLinkProfile(
+            name="geo-satcom-reference",
+            rtt_median_ms=750.0,
+            rtt_sigma=0.45,
+            down_median_mbps=18.0,
+            down_sigma=0.6,
+            up_median_mbps=3.0,
+            up_sigma=0.5,
+            loss_pct=0.1,
+        ),
+        AccessLinkProfile(
+            name="starlink",
+            rtt_median_ms=45.0,
+            rtt_sigma=0.35,
+            down_median_mbps=140.0,
+            down_sigma=0.45,
+            up_median_mbps=12.0,
+            up_sigma=0.4,
+            loss_pct=0.3,
+        ),
+        AccessLinkProfile(
+            name="4g",
+            rtt_median_ms=55.0,
+            rtt_sigma=0.40,
+            down_median_mbps=32.0,
+            down_sigma=0.55,
+            up_median_mbps=12.0,
+            up_sigma=0.5,
+            loss_pct=0.2,
+        ),
+        AccessLinkProfile(
+            name="ftth",
+            rtt_median_ms=6.0,
+            rtt_sigma=0.20,
+            down_median_mbps=300.0,
+            down_sigma=0.25,
+            up_median_mbps=100.0,
+            up_sigma=0.25,
+            loss_pct=0.0,
+        ),
+        AccessLinkProfile(
+            name="adsl",
+            rtt_median_ms=28.0,
+            rtt_sigma=0.25,
+            down_median_mbps=12.0,
+            down_sigma=0.3,
+            up_median_mbps=1.0,
+            up_sigma=0.3,
+            loss_pct=0.1,
+        ),
+    )
+}

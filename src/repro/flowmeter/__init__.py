@@ -1,0 +1,29 @@
+"""Tstat-like passive flow monitor (paper Section 2.2).
+
+Deployed at the ground station, after the PEP: it observes every packet
+exchanged between the ground station and the Internet plus the DNS/UDP
+and QUIC traffic tunneled through unchanged. Per flow it produces a
+:class:`~repro.flowmeter.records.FlowRecord` with volume, timing,
+ground-segment TCP RTT statistics (data↔ACK), the satellite-segment RTT
+estimated from the TLS handshake (ServerHello → ClientKeyExchange), and
+the server domain name from SNI / Host / DNS.
+"""
+
+from repro.flowmeter.records import FlowRecord, L7Protocol
+from repro.flowmeter.rtt import TcpRttEstimator, TlsHandshakeRttEstimator
+from repro.flowmeter.dpi import DpiEngine, DpiResult
+from repro.flowmeter.meter import FlowMeter
+from repro.flowmeter.export import read_jsonl, write_csv, write_jsonl
+
+__all__ = [
+    "FlowRecord",
+    "L7Protocol",
+    "TcpRttEstimator",
+    "TlsHandshakeRttEstimator",
+    "DpiEngine",
+    "DpiResult",
+    "FlowMeter",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

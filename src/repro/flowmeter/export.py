@@ -1,0 +1,85 @@
+"""Flow-log I/O.
+
+The paper's probe writes flow summaries that are shipped daily to a
+Hadoop cluster. We provide JSONL (lossless round trip) and CSV (for
+eyeballing / external tools).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.flowmeter.records import FlowRecord, L7Protocol
+
+_FIELDS = [
+    "client_ip",
+    "server_ip",
+    "client_port",
+    "server_port",
+    "l7",
+    "ts_start",
+    "ts_end",
+    "bytes_up",
+    "bytes_down",
+    "pkts_up",
+    "pkts_down",
+    "rtt_samples",
+    "rtt_min_ms",
+    "rtt_avg_ms",
+    "rtt_max_ms",
+    "rtt_std_ms",
+    "sat_rtt_ms",
+    "domain",
+    "dns_qname",
+    "dns_resolver_ip",
+    "dns_response_ms",
+    "dns_rcode",
+    "first_pkt_times",
+]
+
+
+def _record_to_dict(record: FlowRecord) -> dict:
+    data = {name: getattr(record, name) for name in _FIELDS}
+    data["l7"] = record.l7.value
+    return data
+
+
+def write_jsonl(records: Iterable[FlowRecord], path: Union[str, Path]) -> int:
+    """Write records as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> List[FlowRecord]:
+    """Read records written by :func:`write_jsonl`."""
+    records: List[FlowRecord] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            data["l7"] = L7Protocol(data["l7"])
+            records.append(FlowRecord(**data))
+    return records
+
+
+def write_csv(records: Iterable[FlowRecord], path: Union[str, Path]) -> int:
+    """Write records as CSV; ``first_pkt_times`` is JSON-encoded."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in records:
+            row = _record_to_dict(record)
+            row["first_pkt_times"] = json.dumps(row["first_pkt_times"])
+            writer.writerow(row)
+            count += 1
+    return count

@@ -1,0 +1,128 @@
+"""Tstat-compatible log export.
+
+The paper's probe is Tstat [39], whose canonical output is
+``log_tcp_complete`` / ``log_udp_complete``: one whitespace-separated
+line per flow with positional columns. We emit the most commonly used
+subset of those columns (client/server sides, packets/bytes, timing,
+RTT statistics) so downstream tooling written against Tstat logs can
+consume our flow meter's output directly.
+
+Column layout (1-based, following Tstat's documentation conventions):
+
+TCP: c_ip c_port c_pkts c_bytes s_ip s_port s_pkts s_bytes
+     first last durat c_rtt_avg c_rtt_min c_rtt_max c_rtt_std
+     sat_rtt fqdn
+UDP: c_ip c_port s_ip s_port c_bytes s_bytes first last durat fqdn
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.flowmeter.records import FlowRecord
+from repro.net.inet import ip_from_int
+
+TCP_COLUMNS = (
+    "c_ip", "c_port", "c_pkts", "c_bytes",
+    "s_ip", "s_port", "s_pkts", "s_bytes",
+    "first", "last", "durat",
+    "c_rtt_avg", "c_rtt_min", "c_rtt_max", "c_rtt_std",
+    "sat_rtt", "fqdn",
+)
+
+UDP_COLUMNS = (
+    "c_ip", "c_port", "s_ip", "s_port",
+    "c_bytes", "s_bytes", "first", "last", "durat", "fqdn",
+)
+
+_MISSING = "-"
+
+
+def _fmt(value, scale: float = 1.0) -> str:
+    if value is None:
+        return _MISSING
+    if isinstance(value, float):
+        return f"{value * scale:.3f}"
+    return str(value)
+
+
+def tcp_line(record: FlowRecord) -> str:
+    """One ``log_tcp_complete`` line."""
+    fields = [
+        ip_from_int(record.client_ip),
+        str(record.client_port),
+        str(record.pkts_up),
+        str(record.bytes_up),
+        ip_from_int(record.server_ip),
+        str(record.server_port),
+        str(record.pkts_down),
+        str(record.bytes_down),
+        _fmt(record.ts_start, 1000.0),  # Tstat logs milliseconds
+        _fmt(record.ts_end, 1000.0),
+        _fmt(record.duration_s, 1000.0),
+        _fmt(record.rtt_avg_ms),
+        _fmt(record.rtt_min_ms),
+        _fmt(record.rtt_max_ms),
+        _fmt(record.rtt_std_ms),
+        _fmt(record.sat_rtt_ms),
+        record.domain or _MISSING,
+    ]
+    return " ".join(fields)
+
+
+def udp_line(record: FlowRecord) -> str:
+    """One ``log_udp_complete`` line."""
+    fields = [
+        ip_from_int(record.client_ip),
+        str(record.client_port),
+        ip_from_int(record.server_ip),
+        str(record.server_port),
+        str(record.bytes_up),
+        str(record.bytes_down),
+        _fmt(record.ts_start, 1000.0),
+        _fmt(record.ts_end, 1000.0),
+        _fmt(record.duration_s, 1000.0),
+        record.domain or record.dns_qname or _MISSING,
+    ]
+    return " ".join(fields)
+
+
+def write_tstat_logs(
+    records: Iterable[FlowRecord], directory: Union[str, Path]
+) -> Tuple[Path, Path]:
+    """Write ``log_tcp_complete`` and ``log_udp_complete``.
+
+    Returns the two paths. Header lines start with ``#`` as in Tstat.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tcp_path = directory / "log_tcp_complete"
+    udp_path = directory / "log_udp_complete"
+    tcp_lines: List[str] = ["#" + " ".join(TCP_COLUMNS)]
+    udp_lines: List[str] = ["#" + " ".join(UDP_COLUMNS)]
+    for record in records:
+        if record.l7.is_tcp:
+            tcp_lines.append(tcp_line(record))
+        else:
+            udp_lines.append(udp_line(record))
+    tcp_path.write_text("\n".join(tcp_lines) + "\n", encoding="utf-8")
+    udp_path.write_text("\n".join(udp_lines) + "\n", encoding="utf-8")
+    return tcp_path, udp_path
+
+
+def parse_tcp_line(line: str) -> dict:
+    """Parse a ``log_tcp_complete`` line back into a dict (round trip
+    for tooling tests)."""
+    parts = line.split()
+    if len(parts) != len(TCP_COLUMNS):
+        raise ValueError(
+            f"expected {len(TCP_COLUMNS)} columns, got {len(parts)}"
+        )
+    out = dict(zip(TCP_COLUMNS, parts))
+    for key in ("c_pkts", "c_bytes", "s_pkts", "s_bytes", "c_port", "s_port"):
+        out[key] = int(out[key])
+    for key in ("first", "last", "durat", "c_rtt_avg", "c_rtt_min",
+                "c_rtt_max", "c_rtt_std", "sat_rtt"):
+        out[key] = None if out[key] == _MISSING else float(out[key])
+    return out

@@ -1,0 +1,36 @@
+"""The terrestrial Internet model.
+
+Everything the ground station talks to: geography and geodesic latency,
+origin/CDN server deployments with their selection policies, and the DNS
+resolver ecosystem the paper's subscribers actually use (Section 6.3).
+"""
+
+from repro.internet.geo import (
+    COUNTRIES,
+    GROUND_STATION,
+    SATELLITE_LONGITUDE_DEG,
+    Location,
+    country,
+    geodesic_km,
+)
+from repro.internet.latency import LatencyModel
+from repro.internet.resolvers import RESOLVERS, Resolver, ResolverCatalog
+from repro.internet.servers import CdnFootprint, SelectionPolicy, ServiceDeployment
+from repro.internet.topology import InternetModel
+
+__all__ = [
+    "COUNTRIES",
+    "GROUND_STATION",
+    "SATELLITE_LONGITUDE_DEG",
+    "Location",
+    "country",
+    "geodesic_km",
+    "LatencyModel",
+    "RESOLVERS",
+    "Resolver",
+    "ResolverCatalog",
+    "CdnFootprint",
+    "SelectionPolicy",
+    "ServiceDeployment",
+    "InternetModel",
+]

@@ -1,0 +1,24 @@
+"""Packet primitives: addressing, headers, flow keys, anonymization."""
+
+from repro.net.inet import (
+    IPv4Network,
+    ip_from_int,
+    ip_in_network,
+    ip_to_int,
+)
+from repro.net.packet import IPProtocol, Packet, TCPFlags
+from repro.net.flowkey import Direction, FiveTuple
+from repro.net.cryptopan import PrefixPreservingAnonymizer
+
+__all__ = [
+    "IPv4Network",
+    "ip_from_int",
+    "ip_in_network",
+    "ip_to_int",
+    "IPProtocol",
+    "Packet",
+    "TCPFlags",
+    "Direction",
+    "FiveTuple",
+    "PrefixPreservingAnonymizer",
+]

@@ -1,0 +1,88 @@
+"""Bidirectional flow keys.
+
+Tstat tracks flows by the classic 5-tuple; a :class:`FiveTuple` is
+canonicalized so both directions of a connection map to the same key,
+and :meth:`FiveTuple.from_packet` reports which direction the packet
+travelled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.packet import IPProtocol, Packet
+
+
+class Direction(enum.Enum):
+    """Packet direction relative to the canonical flow key."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    def flipped(self) -> "Direction":
+        """The opposite direction."""
+        if self is Direction.CLIENT_TO_SERVER:
+            return Direction.SERVER_TO_CLIENT
+        return Direction.CLIENT_TO_SERVER
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Canonical bidirectional flow identifier.
+
+    The *client* side is defined as the endpoint that sent the first
+    packet the tracker saw (for TCP, normally the SYN sender). The
+    canonical form therefore preserves client/server roles rather than
+    sorting endpoints, matching Tstat's semantics.
+    """
+
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    protocol: IPProtocol
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> Tuple["FiveTuple", Direction]:
+        """Key assuming ``packet`` travels client→server."""
+        key = cls(
+            client_ip=packet.src_ip,
+            client_port=packet.src_port,
+            server_ip=packet.dst_ip,
+            server_port=packet.dst_port,
+            protocol=packet.protocol,
+        )
+        return key, Direction.CLIENT_TO_SERVER
+
+    def reversed(self) -> "FiveTuple":
+        """The same flow keyed from the server's perspective."""
+        return FiveTuple(
+            client_ip=self.server_ip,
+            client_port=self.server_port,
+            server_ip=self.client_ip,
+            server_port=self.client_port,
+            protocol=self.protocol,
+        )
+
+    def direction_of(self, packet: Packet) -> Direction:
+        """Which way ``packet`` travels within this flow.
+
+        Raises ``ValueError`` if the packet does not belong to the flow.
+        """
+        if (
+            packet.src_ip == self.client_ip
+            and packet.src_port == self.client_port
+            and packet.dst_ip == self.server_ip
+            and packet.dst_port == self.server_port
+        ):
+            return Direction.CLIENT_TO_SERVER
+        if (
+            packet.src_ip == self.server_ip
+            and packet.src_port == self.server_port
+            and packet.dst_ip == self.client_ip
+            and packet.dst_port == self.client_port
+        ):
+            return Direction.SERVER_TO_CLIENT
+        raise ValueError("packet does not belong to this flow")

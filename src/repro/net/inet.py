@@ -1,0 +1,97 @@
+"""IPv4 address arithmetic.
+
+The standard library has :mod:`ipaddress`, but the flow meter and the
+anonymizer work on integers in hot paths, so we provide thin, explicit
+helpers plus a small :class:`IPv4Network` for allocation of customer and
+server address pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def ip_to_int(address: str) -> int:
+    """Parse dotted-quad ``address`` into a 32-bit integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_from_int(value: int) -> str:
+    """Format a 32-bit integer as a dotted quad.
+
+    >>> ip_from_int(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"value out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_in_network(address: int, network: int, prefix_len: int) -> bool:
+    """True when integer ``address`` falls inside ``network/prefix_len``."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError("prefix_len must be in [0, 32]")
+    if prefix_len == 0:
+        return True
+    mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+    return (address & mask) == (network & mask)
+
+
+@dataclass(frozen=True)
+class IPv4Network:
+    """A CIDR block used to allocate simulated endpoint addresses."""
+
+    base: int
+    prefix_len: int
+
+    @classmethod
+    def parse(cls, cidr: str) -> "IPv4Network":
+        """Parse ``a.b.c.d/len`` notation.
+
+        >>> IPv4Network.parse("10.1.0.0/16").size
+        65536
+        """
+        address, _, length = cidr.partition("/")
+        if not length:
+            raise ValueError(f"missing prefix length in {cidr!r}")
+        prefix_len = int(length)
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"invalid prefix length in {cidr!r}")
+        base = ip_to_int(address)
+        mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF if prefix_len else 0
+        return cls(base=base & mask, prefix_len=prefix_len)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.prefix_len)
+
+    def address(self, index: int) -> int:
+        """The ``index``-th address in the block as an integer."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"host index {index} out of range for /{self.prefix_len}")
+        return self.base + index
+
+    def __contains__(self, address: int) -> bool:
+        return ip_in_network(address, self.base, self.prefix_len)
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate over every address in the block."""
+        return iter(range(self.base, self.base + self.size))
+
+    def __str__(self) -> str:
+        return f"{ip_from_int(self.base)}/{self.prefix_len}"

@@ -1,0 +1,11 @@
+"""Wire-format protocol encoders and decoders.
+
+These are *real* byte formats (TLS record layer, RFC 1035 DNS, HTTP/1.1,
+QUIC long header, RTP). The traffic generators emit them and the flow
+meter's DPI parses them, so the measurement methodology of the paper is
+exercised against genuine formats rather than in-memory shortcuts.
+"""
+
+from repro.protocols import dns, http, quic, rtp, tls
+
+__all__ = ["dns", "http", "quic", "rtp", "tls"]

@@ -1,0 +1,177 @@
+"""DNS wire format (RFC 1035 subset).
+
+Customers in the paper resolve names through a mix of operator and open
+resolvers over UDP/53; the probe logs every requested domain, the
+response, and the resolver address. We encode/decode real DNS messages:
+header, QNAME label encoding (with compression-pointer support on the
+decode side), question section, and A-record answers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_HEADER = struct.Struct("!HHHHHH")
+
+QTYPE_A = 1
+QTYPE_AAAA = 28
+QCLASS_IN = 1
+
+FLAG_QR_RESPONSE = 0x8000
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+
+RCODE_NOERROR = 0
+RCODE_NXDOMAIN = 3
+
+
+@dataclass
+class Question:
+    """One entry of the question section."""
+
+    name: str
+    qtype: int = QTYPE_A
+    qclass: int = QCLASS_IN
+
+
+@dataclass
+class Answer:
+    """One A-record answer."""
+
+    name: str
+    address: int
+    ttl: int = 300
+
+
+@dataclass
+class Message:
+    """A parsed DNS message."""
+
+    txid: int
+    is_response: bool
+    rcode: int = RCODE_NOERROR
+    questions: List[Question] = field(default_factory=list)
+    answers: List[Answer] = field(default_factory=list)
+
+    @property
+    def qname(self) -> Optional[str]:
+        """The first question name, if any."""
+        return self.questions[0].name if self.questions else None
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels."""
+    if name.endswith("."):
+        name = name[:-1]
+    out = bytearray()
+    if name:
+        for label in name.split("."):
+            raw = label.encode("ascii")
+            if not 0 < len(raw) < 64:
+                raise ValueError(f"invalid DNS label in {name!r}")
+            out.append(len(raw))
+            out += raw
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int, _depth: int = 0) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next_offset)."""
+    if _depth > 10:
+        raise ValueError("DNS name compression loop")
+    labels: List[str] = []
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[offset]
+        if length == 0:
+            offset += 1
+            break
+        if length & 0xC0 == 0xC0:
+            if offset + 2 > len(data):
+                raise ValueError("truncated DNS compression pointer")
+            pointer = struct.unpack_from("!H", data, offset)[0] & 0x3FFF
+            suffix, _ = decode_name(data, pointer, _depth + 1)
+            labels.append(suffix)
+            offset += 2
+            return ".".join(labels), offset
+        if length >= 64:
+            raise ValueError("invalid DNS label length")
+        offset += 1
+        labels.append(data[offset : offset + length].decode("ascii", errors="replace"))
+        offset += length
+    return ".".join(labels), offset
+
+
+def encode_query(txid: int, name: str, qtype: int = QTYPE_A) -> bytes:
+    """Encode a standard recursive query for ``name``.
+
+    >>> msg = decode(encode_query(7, "example.com"))
+    >>> (msg.txid, msg.qname, msg.is_response)
+    (7, 'example.com', False)
+    """
+    header = _HEADER.pack(txid & 0xFFFF, FLAG_RD, 1, 0, 0, 0)
+    return header + encode_name(name) + struct.pack("!HH", qtype, QCLASS_IN)
+
+
+def encode_response(
+    txid: int,
+    name: str,
+    addresses: List[int],
+    ttl: int = 300,
+    rcode: int = RCODE_NOERROR,
+) -> bytes:
+    """Encode a response with A records for ``name``."""
+    flags = FLAG_QR_RESPONSE | FLAG_RD | FLAG_RA | (rcode & 0xF)
+    header = _HEADER.pack(txid & 0xFFFF, flags, 1, len(addresses), 0, 0)
+    question = encode_name(name) + struct.pack("!HH", QTYPE_A, QCLASS_IN)
+    out = bytearray(header + question)
+    for address in addresses:
+        out += struct.pack("!H", 0xC000 | _HEADER.size)  # pointer to QNAME
+        out += struct.pack("!HHIH", QTYPE_A, QCLASS_IN, ttl, 4)
+        out += struct.pack("!I", address & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def decode(data: bytes) -> Message:
+    """Decode a DNS message (questions + A answers)."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated DNS header")
+    txid, flags, qdcount, ancount, _, _ = _HEADER.unpack_from(data, 0)
+    message = Message(
+        txid=txid,
+        is_response=bool(flags & FLAG_QR_RESPONSE),
+        rcode=flags & 0xF,
+    )
+    offset = _HEADER.size
+    for _ in range(qdcount):
+        name, offset = decode_name(data, offset)
+        if offset + 4 > len(data):
+            raise ValueError("truncated DNS question")
+        qtype, qclass = struct.unpack_from("!HH", data, offset)
+        offset += 4
+        message.questions.append(Question(name=name, qtype=qtype, qclass=qclass))
+    for _ in range(ancount):
+        name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise ValueError("truncated DNS answer")
+        rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", data, offset)
+        offset += 10
+        rdata = data[offset : offset + rdlength]
+        offset += rdlength
+        if rtype == QTYPE_A and rdlength == 4:
+            message.answers.append(
+                Answer(name=name, address=struct.unpack("!I", rdata)[0], ttl=ttl)
+            )
+    return message
+
+
+def looks_like_dns(data: bytes) -> bool:
+    """Heuristic used by the DPI before attempting a full decode."""
+    if len(data) < _HEADER.size + 5:
+        return False
+    _, flags, qdcount, _, _, _ = _HEADER.unpack_from(data, 0)
+    opcode = (flags >> 11) & 0xF
+    return opcode == 0 and 1 <= qdcount <= 4

@@ -1,0 +1,126 @@
+"""QUIC long-header framing (simplified Initial with embedded SNI).
+
+19.6 % of the paper's volume is QUIC (Table 1). Tstat recovers the SNI
+from the QUIC Initial by deriving the version-specific Initial keys and
+decrypting the embedded CRYPTO frames. We keep the header structurally
+faithful (RFC 9000 long header: flags, version, DCID/SCID with length
+prefixes) but carry the ClientHello *unencrypted* in the payload — the
+key derivation is deterministic public crypto that adds nothing to the
+measurement pipeline (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols import tls
+
+QUIC_VERSION_1 = 0x00000001
+
+_LONG_HEADER_FORM = 0x80
+_FIXED_BIT = 0x40
+_PACKET_TYPE_INITIAL = 0x00
+_PACKET_TYPE_HANDSHAKE = 0x20
+_PACKET_TYPE_MASK = 0x30
+
+
+@dataclass
+class LongHeader:
+    """Parsed QUIC long header."""
+
+    packet_type: int
+    version: int
+    dcid: bytes
+    scid: bytes
+    payload: bytes
+
+    @property
+    def is_initial(self) -> bool:
+        return self.packet_type == _PACKET_TYPE_INITIAL
+
+
+def encode_initial(sni: str, dcid: bytes = b"\x01" * 8, scid: bytes = b"\x02" * 8) -> bytes:
+    """A QUIC Initial carrying a ClientHello with ``sni``.
+
+    >>> extract_sni(encode_initial("video.example.org"))
+    'video.example.org'
+    """
+    crypto = tls.client_hello(sni)
+    return _encode_long_header(_PACKET_TYPE_INITIAL, dcid, scid, crypto)
+
+
+def encode_handshake_packet(payload_len: int, dcid: bytes = b"\x01" * 8, scid: bytes = b"\x02" * 8) -> bytes:
+    """A QUIC Handshake-type packet with opaque payload."""
+    return _encode_long_header(_PACKET_TYPE_HANDSHAKE, dcid, scid, b"\x00" * payload_len)
+
+
+def encode_short_header_packet(payload_len: int, dcid: bytes = b"\x01" * 8) -> bytes:
+    """A 1-RTT (short header) packet: flags byte + DCID + payload."""
+    return bytes([_FIXED_BIT]) + dcid + b"\x00" * payload_len
+
+
+def _encode_long_header(packet_type: int, dcid: bytes, scid: bytes, payload: bytes) -> bytes:
+    if len(dcid) > 20 or len(scid) > 20:
+        raise ValueError("QUIC connection IDs are at most 20 bytes")
+    flags = _LONG_HEADER_FORM | _FIXED_BIT | packet_type
+    return (
+        bytes([flags])
+        + struct.pack("!I", QUIC_VERSION_1)
+        + bytes([len(dcid)])
+        + dcid
+        + bytes([len(scid)])
+        + scid
+        + payload
+    )
+
+
+def parse_long_header(data: bytes) -> Optional[LongHeader]:
+    """Parse a long-header packet; None when not QUIC long header."""
+    if len(data) < 7:
+        return None
+    flags = data[0]
+    if not flags & _LONG_HEADER_FORM or not flags & _FIXED_BIT:
+        return None
+    version = struct.unpack_from("!I", data, 1)[0]
+    offset = 5
+    dcid_len = data[offset]
+    offset += 1
+    if dcid_len > 20 or offset + dcid_len >= len(data):
+        return None
+    dcid = data[offset : offset + dcid_len]
+    offset += dcid_len
+    scid_len = data[offset]
+    offset += 1
+    if scid_len > 20 or offset + scid_len > len(data):
+        return None
+    scid = data[offset : offset + scid_len]
+    offset += scid_len
+    return LongHeader(
+        packet_type=flags & _PACKET_TYPE_MASK,
+        version=version,
+        dcid=dcid,
+        scid=scid,
+        payload=data[offset:],
+    )
+
+
+def extract_sni(data: bytes) -> Optional[str]:
+    """SNI from an Initial packet, if present."""
+    header = parse_long_header(data)
+    if header is None or not header.is_initial:
+        return None
+    return tls.extract_sni(header.payload)
+
+
+def looks_like_quic(data: bytes) -> bool:
+    """Heuristic: long-header form bit + fixed bit + version 1."""
+    if len(data) < 5:
+        return False
+    flags = data[0]
+    if not flags & _FIXED_BIT:
+        return False
+    if flags & _LONG_HEADER_FORM:
+        return struct.unpack_from("!I", data, 1)[0] == QUIC_VERSION_1
+    return True  # short header: fixed bit only

@@ -1,0 +1,318 @@
+"""TLS record-layer and handshake encoding/decoding.
+
+The paper's probe (Section 2.2) measures the *satellite-segment* RTT as
+the time between the ``ServerHello`` leaving the ground station and the
+client's ``ClientKeyExchange``/``ChangeCipherSpec`` arriving back, and it
+extracts the visited domain from the ``server_name`` (SNI) extension of
+the ``ClientHello``. This module provides byte-exact encoders for those
+messages and the parsers the DPI uses.
+
+Certificates and key material are placeholder bytes: the measurement
+methodology only depends on message *types*, *framing* and the SNI
+extension.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+TLS_VERSION_1_2 = 0x0303
+
+_RECORD_HEADER = struct.Struct("!BHH")  # type, version, length
+
+
+class ContentType(enum.IntEnum):
+    """TLS record-layer content types."""
+
+    CHANGE_CIPHER_SPEC = 20
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+
+
+class HandshakeType(enum.IntEnum):
+    """TLS handshake message types (subset)."""
+
+    CLIENT_HELLO = 1
+    SERVER_HELLO = 2
+    CERTIFICATE = 11
+    SERVER_KEY_EXCHANGE = 12
+    SERVER_HELLO_DONE = 14
+    CLIENT_KEY_EXCHANGE = 16
+    FINISHED = 20
+
+
+SNI_EXTENSION_TYPE = 0
+SNI_HOSTNAME_TYPE = 0
+
+
+@dataclass
+class HandshakeMessage:
+    """A parsed handshake message."""
+
+    msg_type: HandshakeType
+    body: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class Record:
+    """A parsed TLS record."""
+
+    content_type: ContentType
+    version: int
+    payload: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class ParsedHandshake:
+    """Summary of what the DPI saw in a byte stream."""
+
+    records: List[Record] = field(default_factory=list)
+    handshake_types: List[HandshakeType] = field(default_factory=list)
+    sni: Optional[str] = None
+
+
+def encode_record(content_type: ContentType, payload: bytes, version: int = TLS_VERSION_1_2) -> bytes:
+    """Wrap ``payload`` in a TLS record header."""
+    if len(payload) > 0xFFFF:
+        raise ValueError("TLS record payload too large")
+    return _RECORD_HEADER.pack(int(content_type), version, len(payload)) + payload
+
+
+def encode_handshake(msg_type: HandshakeType, body: bytes) -> bytes:
+    """Encode a handshake message (type + 24-bit length + body)."""
+    if len(body) > 0xFFFFFF:
+        raise ValueError("handshake body too large")
+    return bytes([int(msg_type)]) + len(body).to_bytes(3, "big") + body
+
+
+def _encode_sni_extension(server_name: str) -> bytes:
+    """The server_name extension (RFC 6066)."""
+    name = server_name.encode("ascii")
+    entry = bytes([SNI_HOSTNAME_TYPE]) + struct.pack("!H", len(name)) + name
+    server_name_list = struct.pack("!H", len(entry)) + entry
+    return struct.pack("!HH", SNI_EXTENSION_TYPE, len(server_name_list)) + server_name_list
+
+
+def client_hello(server_name: str, session_id: bytes = b"", random: bytes = b"\x00" * 32) -> bytes:
+    """A ClientHello record carrying an SNI extension.
+
+    >>> data = client_hello("www.example.com")
+    >>> extract_sni(data)
+    'www.example.com'
+    """
+    if len(random) != 32:
+        raise ValueError("TLS random must be 32 bytes")
+    if len(session_id) > 32:
+        raise ValueError("session_id too long")
+    cipher_suites = struct.pack("!H", 2) + struct.pack("!H", 0xC02F)  # one suite
+    compression = b"\x01\x00"
+    extensions = _encode_sni_extension(server_name)
+    body = (
+        struct.pack("!H", TLS_VERSION_1_2)
+        + random
+        + bytes([len(session_id)])
+        + session_id
+        + cipher_suites
+        + compression
+        + struct.pack("!H", len(extensions))
+        + extensions
+    )
+    return encode_record(ContentType.HANDSHAKE, encode_handshake(HandshakeType.CLIENT_HELLO, body))
+
+
+def server_hello(random: bytes = b"\x00" * 32, certificate_len: int = 2000) -> bytes:
+    """ServerHello + Certificate + ServerHelloDone flight (one record).
+
+    ``certificate_len`` controls the size of the placeholder certificate
+    chain, so simulations can model realistic handshake flight sizes.
+    """
+    if len(random) != 32:
+        raise ValueError("TLS random must be 32 bytes")
+    hello_body = (
+        struct.pack("!H", TLS_VERSION_1_2)
+        + random
+        + b"\x00"  # empty session id
+        + struct.pack("!H", 0xC02F)
+        + b"\x00"  # null compression
+    )
+    messages = encode_handshake(HandshakeType.SERVER_HELLO, hello_body)
+    messages += encode_handshake(HandshakeType.CERTIFICATE, b"\x00" * certificate_len)
+    messages += encode_handshake(HandshakeType.SERVER_HELLO_DONE, b"")
+    return encode_record(ContentType.HANDSHAKE, messages)
+
+
+def client_key_exchange() -> bytes:
+    """ClientKeyExchange + ChangeCipherSpec + (encrypted) Finished flight."""
+    cke = encode_record(
+        ContentType.HANDSHAKE, encode_handshake(HandshakeType.CLIENT_KEY_EXCHANGE, b"\x00" * 66)
+    )
+    ccs = encode_record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+    finished = encode_record(ContentType.HANDSHAKE, b"\x16" + b"\x00" * 39)
+    return cke + ccs + finished
+
+
+def server_finished() -> bytes:
+    """Server ChangeCipherSpec + Finished flight."""
+    ccs = encode_record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+    finished = encode_record(ContentType.HANDSHAKE, b"\x16" + b"\x00" * 39)
+    return ccs + finished
+
+
+def server_hello_tls13(random: bytes = b"\x00" * 32, certificate_len: int = 2400) -> bytes:
+    """TLS 1.3 server flight: ServerHello + CCS + encrypted handshake.
+
+    In TLS 1.3 the certificate/Finished messages ride encrypted after a
+    compatibility ChangeCipherSpec; to the wire (and to the DPI) they
+    look like opaque APPLICATION_DATA records.
+    """
+    if len(random) != 32:
+        raise ValueError("TLS random must be 32 bytes")
+    hello_body = (
+        struct.pack("!H", TLS_VERSION_1_2)  # legacy_version on the wire
+        + random
+        + b"\x00"
+        + struct.pack("!H", 0x1301)  # TLS_AES_128_GCM_SHA256
+        + b"\x00"
+    )
+    hello = encode_record(
+        ContentType.HANDSHAKE, encode_handshake(HandshakeType.SERVER_HELLO, hello_body)
+    )
+    ccs = encode_record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+    return hello + ccs + application_data(certificate_len)
+
+
+def client_finished_tls13() -> bytes:
+    """TLS 1.3 client return flight: compatibility CCS + encrypted
+    Finished. There is no ClientKeyExchange — this CCS is the milestone
+    the paper's satellite-RTT estimator falls back to."""
+    ccs = encode_record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+    return ccs + application_data(52)
+
+
+def application_data(length: int) -> bytes:
+    """An APPLICATION_DATA record of ``length`` payload bytes."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    remaining = length
+    out = bytearray()
+    while remaining > 0:
+        chunk = min(remaining, 0x4000)
+        out += encode_record(ContentType.APPLICATION_DATA, b"\x00" * chunk)
+        remaining -= chunk
+    return bytes(out)
+
+
+def parse_records(data: bytes) -> List[Record]:
+    """Split a byte stream into TLS records; tolerates a trailing partial record."""
+    records: List[Record] = []
+    offset = 0
+    while offset + _RECORD_HEADER.size <= len(data):
+        ctype, version, length = _RECORD_HEADER.unpack_from(data, offset)
+        end = offset + _RECORD_HEADER.size + length
+        if end > len(data):
+            break
+        try:
+            content = ContentType(ctype)
+        except ValueError:
+            break  # not TLS after all
+        records.append(Record(content_type=content, version=version, payload=data[offset + _RECORD_HEADER.size : end]))
+        offset = end
+    return records
+
+
+def parse_handshake_messages(record_payload: bytes) -> List[HandshakeMessage]:
+    """Parse the handshake messages inside one HANDSHAKE record payload."""
+    messages: List[HandshakeMessage] = []
+    offset = 0
+    while offset + 4 <= len(record_payload):
+        raw_type = record_payload[offset]
+        length = int.from_bytes(record_payload[offset + 1 : offset + 4], "big")
+        end = offset + 4 + length
+        if end > len(record_payload):
+            break
+        try:
+            msg_type = HandshakeType(raw_type)
+        except ValueError:
+            break  # encrypted Finished or unknown — stop walking
+        messages.append(HandshakeMessage(msg_type=msg_type, body=record_payload[offset + 4 : end]))
+        offset = end
+    return messages
+
+
+def _parse_sni_from_client_hello(body: bytes) -> Optional[str]:
+    """Walk a ClientHello body to the SNI extension."""
+    offset = 2 + 32  # version + random
+    if offset >= len(body):
+        return None
+    sid_len = body[offset]
+    offset += 1 + sid_len
+    if offset + 2 > len(body):
+        return None
+    cs_len = struct.unpack_from("!H", body, offset)[0]
+    offset += 2 + cs_len
+    if offset >= len(body):
+        return None
+    comp_len = body[offset]
+    offset += 1 + comp_len
+    if offset + 2 > len(body):
+        return None
+    ext_total = struct.unpack_from("!H", body, offset)[0]
+    offset += 2
+    ext_end = min(offset + ext_total, len(body))
+    while offset + 4 <= ext_end:
+        ext_type, ext_len = struct.unpack_from("!HH", body, offset)
+        offset += 4
+        if ext_type == SNI_EXTENSION_TYPE and offset + 2 <= ext_end:
+            # server_name_list: u16 length, then entries
+            cursor = offset + 2
+            while cursor + 3 <= offset + 2 + struct.unpack_from("!H", body, offset)[0]:
+                name_type = body[cursor]
+                name_len = struct.unpack_from("!H", body, cursor + 1)[0]
+                cursor += 3
+                if name_type == SNI_HOSTNAME_TYPE and cursor + name_len <= len(body):
+                    return body[cursor : cursor + name_len].decode("ascii", errors="replace")
+                cursor += name_len
+            return None
+        offset += ext_len
+    return None
+
+
+def extract_sni(data: bytes) -> Optional[str]:
+    """Extract the SNI from a byte stream starting with a ClientHello."""
+    parsed = parse_stream(data)
+    return parsed.sni
+
+
+def parse_stream(data: bytes) -> ParsedHandshake:
+    """Parse a TLS byte stream and summarize handshake content."""
+    result = ParsedHandshake()
+    result.records = parse_records(data)
+    for record in result.records:
+        if record.content_type != ContentType.HANDSHAKE:
+            continue
+        for message in parse_handshake_messages(record.payload):
+            result.handshake_types.append(message.msg_type)
+            if message.msg_type == HandshakeType.CLIENT_HELLO and result.sni is None:
+                result.sni = _parse_sni_from_client_hello(message.body)
+    return result
+
+
+def looks_like_tls(data: bytes) -> bool:
+    """Cheap check used by the DPI to decide whether to try TLS parsing."""
+    if len(data) < _RECORD_HEADER.size:
+        return False
+    ctype = data[0]
+    version_major = data[1]
+    return ctype in (20, 21, 22, 23) and version_major == 3

@@ -1,0 +1,49 @@
+"""The GEO SatCom access network (the paper's Section 2.1 substrate).
+
+Modules:
+
+* :mod:`repro.satcom.geometry` — orbital geometry: slant range,
+  elevation angle, propagation delay per subscriber location.
+* :mod:`repro.satcom.plans` — commercial capacity plans.
+* :mod:`repro.satcom.beams` — spot beams, capacity, diurnal utilization.
+* :mod:`repro.satcom.mac` — slotted-Aloha reservation + TDMA scheduling.
+* :mod:`repro.satcom.channel` — FEC/ARQ channel-impairment model driven
+  by elevation angle (why Ireland suffers at any load).
+* :mod:`repro.satcom.pep` — split-TCP Performance Enhancing Proxy and
+  its per-beam processing-capacity model.
+* :mod:`repro.satcom.shaper` — token-bucket QoS shaper enforcing plans.
+* :mod:`repro.satcom.delay_model` — the analytic satellite-RTT sampler
+  combining all of the above (used by the flow-level generator).
+* :mod:`repro.satcom.network` — packet-level assembly on
+  :mod:`repro.simnet` (used to validate the measurement methodology).
+"""
+
+from repro.satcom.geometry import SatelliteGeometry
+from repro.satcom.plans import PLANS, Plan, plan_by_downlink
+from repro.satcom.beams import Beam, BeamMap, build_default_beam_map
+from repro.satcom.mac import SlottedAlohaModel, TdmaModel
+from repro.satcom.channel import ChannelModel, RainFadeProcess
+from repro.satcom.pep import PepCapacityModel
+from repro.satcom.shaper import TokenBucketShaper
+from repro.satcom.qos import PriorityShapingScheduler, TrafficClass, classify
+from repro.satcom.delay_model import SatelliteRttModel
+
+__all__ = [
+    "SatelliteGeometry",
+    "PLANS",
+    "Plan",
+    "plan_by_downlink",
+    "Beam",
+    "BeamMap",
+    "build_default_beam_map",
+    "SlottedAlohaModel",
+    "TdmaModel",
+    "ChannelModel",
+    "RainFadeProcess",
+    "PepCapacityModel",
+    "TokenBucketShaper",
+    "PriorityShapingScheduler",
+    "TrafficClass",
+    "classify",
+    "SatelliteRttModel",
+]

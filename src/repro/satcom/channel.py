@@ -1,0 +1,139 @@
+"""Channel impairments: FEC residual loss and ARQ recovery delay.
+
+Section 6.1 explains Ireland's anomaly: it sits at the edge of the
+coverage area with a large zenith angle, so "the satellite transmission
+channel suffers from severe transmission impairments" and its RTT tail
+is heavy *independently of load* (night ≈ peak). We model a residual
+frame-error probability that decays with elevation angle; each ARQ
+recovery costs a reservation round trip plus re-scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import TDMA_FRAME_S
+
+
+@dataclass
+class ChannelModel:
+    """Elevation-driven residual error / ARQ delay model."""
+
+    floor_probability: float = 0.002
+    """Residual frame-error probability at zenith (clear sky)."""
+
+    edge_probability: float = 0.55
+    """Additional error probability as elevation → reference angle."""
+
+    reference_elevation_deg: float = 20.0
+    """Elevation at which the exponential term equals ``edge_probability``."""
+
+    decay_deg: float = 3.5
+    """e-folding scale of the error probability with elevation."""
+
+    arq_rtt_s: float = 0.52
+    """Cost of one ARQ recovery: retransmission request + re-delivery
+    through the satellite."""
+
+    def frame_error_probability(
+        self, elevation_deg: float, weather_factor: float = 1.0
+    ) -> float:
+        """Residual (post-FEC) frame error probability.
+
+        ``weather_factor`` ≥ 1 scales the error probability during rain
+        fade (Ka/Ku-band attenuation); see :class:`RainFadeProcess`.
+        """
+        if elevation_deg <= 0:
+            return 1.0
+        if weather_factor < 1.0:
+            raise ValueError("weather_factor must be >= 1")
+        excess = max(0.0, elevation_deg - self.reference_elevation_deg)
+        p = self.floor_probability + self.edge_probability * math.exp(-excess / self.decay_deg)
+        return min(0.95, p * weather_factor)
+
+    def sample_arq_delay_s(
+        self,
+        elevation_deg: float,
+        rng: np.random.Generator,
+        n: int = 1,
+        frames_per_exchange: int = 4,
+        weather_factor: float = 1.0,
+    ) -> np.ndarray:
+        """Extra delay a small exchange suffers from ARQ recoveries.
+
+        ``frames_per_exchange`` data-link frames are at risk; each
+        erred frame costs a recovery round trip plus re-scheduling
+        within the next frames (uniform).
+        """
+        p = self.frame_error_probability(elevation_deg, weather_factor)
+        errors = rng.binomial(frames_per_exchange, p, size=n)
+        recovery = errors * self.arq_rtt_s
+        reschedule = np.where(
+            errors > 0, rng.uniform(0.0, 2.0 * TDMA_FRAME_S, size=n) * errors, 0.0
+        )
+        return recovery + reschedule
+
+
+@dataclass
+class RainFadeProcess:
+    """Time-varying rain attenuation (extension beyond the paper).
+
+    The paper's channel observations are time-averaged; operational
+    Ka/Ku links additionally suffer episodic rain fade. We model a
+    two-state (clear/fade) continuous-time process: exponential sojourn
+    times, Gamma-distributed fade severity mapped onto the channel's
+    ``weather_factor``. Tropical beams (Congo, Nigeria) fade more often
+    — set a higher ``fade_probability``.
+    """
+
+    fade_probability: float = 0.04
+    """Long-run fraction of time in fade."""
+
+    mean_fade_duration_s: float = 900.0
+    """Average fade episode length (~15 min convective cells)."""
+
+    severity_shape: float = 2.0
+    severity_scale: float = 3.0
+    """Gamma parameters of the extra error multiplier during fade."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fade_probability < 1.0:
+            raise ValueError("fade_probability must be in [0, 1)")
+        if self.mean_fade_duration_s <= 0:
+            raise ValueError("mean_fade_duration_s must be positive")
+
+    @property
+    def mean_clear_duration_s(self) -> float:
+        """Clear-sky sojourn implied by the stationary distribution."""
+        p = self.fade_probability
+        if p == 0:
+            return math.inf
+        return self.mean_fade_duration_s * (1.0 - p) / p
+
+    def sample_weather_factor(
+        self, rng: np.random.Generator, n: int = 1
+    ) -> np.ndarray:
+        """Stationary samples of the channel weather factor (≥1)."""
+        fading = rng.random(n) < self.fade_probability
+        severity = 1.0 + rng.gamma(self.severity_shape, self.severity_scale, n)
+        return np.where(fading, severity, 1.0)
+
+    def sample_episode(
+        self, rng: np.random.Generator
+    ) -> "RainFadeEpisode":
+        """One fade episode (duration + severity)."""
+        return RainFadeEpisode(
+            duration_s=float(rng.exponential(self.mean_fade_duration_s)),
+            weather_factor=float(1.0 + rng.gamma(self.severity_shape, self.severity_scale)),
+        )
+
+
+@dataclass(frozen=True)
+class RainFadeEpisode:
+    """A single rain-fade event."""
+
+    duration_s: float
+    weather_factor: float

@@ -1,0 +1,632 @@
+"""Packet-level SatCom network (Figure 1 of the paper, end to end).
+
+Assembles the full forwarding path::
+
+    client app ── CPE (PEP client proxy) ──(satellite UDP tunnel)──
+        ground station (PEP terminator, NAT, shaper) ──(backbone)── server
+
+with a :class:`~repro.flowmeter.meter.FlowMeter` tapping the ground
+station's Internet side, exactly where the paper's probe sits. TCP
+application byte streams are PEP-relayed (TLS bytes survive end to end,
+so the handshake-timing trick works); UDP (DNS, QUIC) is forwarded
+as-is through the tunnel.
+
+This substrate exists to *validate the measurement methodology* at a
+few hundred flows — the flow-level generator handles scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.flowmeter.meter import FlowMeter
+from repro.internet.geo import COUNTRIES, Location
+from repro.internet.resolvers import Resolver
+from repro.internet.topology import InternetModel
+from repro.net.inet import ip_to_int
+from repro.net.packet import IPProtocol, Packet
+from repro.net.tcp import TcpEndpoint
+from repro.protocols import dns as dnsproto
+from repro.satcom.beams import Beam
+from repro.satcom.delay_model import SatelliteRttModel, local_hour
+from repro.satcom.pep import TunnelMessage, TunnelMessageType
+from repro.satcom.plans import PLANS, Plan
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+
+_MSS = 1400  # tunnel payload chunk
+_BASE_CUSTOMER_NET = "100.64.0.0"  # operator per-country pools: 100.64+idx
+
+
+@dataclass
+class PepClientSocket:
+    """Application-facing socket offered by the CPE proxy.
+
+    The CPE completes the local handshake instantly (it impersonates
+    the server, Section 2.1), so apps may send immediately.
+    """
+
+    flow_id: int
+    customer: "CustomerHost"
+    on_data: Optional[Callable[[bytes], None]] = None
+    on_close: Optional[Callable[[], None]] = None
+    closed: bool = False
+
+    def send(self, data: bytes) -> None:
+        """Write application bytes into the proxied connection."""
+        if self.closed:
+            raise RuntimeError("socket closed")
+        self.customer._socket_send(self, data)
+
+    def close(self) -> None:
+        """Half-close from the application side."""
+        if not self.closed:
+            self.closed = True
+            self.customer._socket_close(self)
+
+
+class CustomerHost:
+    """A subscriber CPE: PEP client proxy + UDP forwarding."""
+
+    def __init__(
+        self,
+        network: "SatComPacketNetwork",
+        customer_id: int,
+        country: str,
+        beam: Beam,
+        plan: Plan,
+        public_ip: int,
+    ) -> None:
+        self.network = network
+        self.customer_id = customer_id
+        self.country = country
+        self.beam = beam
+        self.plan = plan
+        self.public_ip = public_ip
+        self._next_flow_id = 1
+        self._next_port = 40000
+        self._sockets: Dict[int, PepClientSocket] = {}
+        self._udp_handlers: Dict[int, Callable[[bytes, float], None]] = {}
+
+        location = COUNTRIES[country]
+        sim = network.sim
+        self.uplink = Link(
+            sim,
+            rate_bps=plan.up_bps,
+            prop_delay_s=network.geometry.one_way_path_delay_s(location),
+            name=f"up-{customer_id}",
+            extra_delay_fn=network._uplink_extra_sampler(country, beam),
+        )
+        self.downlink = Link(
+            sim,
+            rate_bps=plan.down_bps,
+            prop_delay_s=network.geometry.one_way_path_delay_s(location),
+            name=f"down-{customer_id}",
+            extra_delay_fn=network._downlink_extra_sampler(country, beam),
+        )
+
+    # -- TCP via PEP -----------------------------------------------------
+
+    def open_tcp(
+        self,
+        dst_ip: int,
+        dst_port: int,
+        on_data: Optional[Callable[[bytes], None]] = None,
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> PepClientSocket:
+        """Open a proxied TCP connection (returns immediately usable socket)."""
+        flow_id = (self.customer_id << 20) | self._next_flow_id
+        self._next_flow_id += 1
+        src_port = self._alloc_port()
+        socket = PepClientSocket(flow_id=flow_id, customer=self, on_data=on_data, on_close=on_close)
+        self._sockets[flow_id] = socket
+        connect = TunnelMessage(
+            flow_id=flow_id,
+            msg_type=TunnelMessageType.CONNECT,
+            dst_ip=dst_ip,
+            dst_port=dst_port,
+            src_ip=self.public_ip,
+            src_port=src_port,
+        )
+        self._tunnel_up(connect)
+        return socket
+
+    def _socket_send(self, socket: PepClientSocket, data: bytes) -> None:
+        for offset in range(0, len(data), _MSS):
+            chunk = data[offset : offset + _MSS]
+            self._tunnel_up(
+                TunnelMessage(flow_id=socket.flow_id, msg_type=TunnelMessageType.DATA, payload=chunk)
+            )
+
+    def _socket_close(self, socket: PepClientSocket) -> None:
+        self._tunnel_up(TunnelMessage(flow_id=socket.flow_id, msg_type=TunnelMessageType.CLOSE))
+
+    def _tunnel_up(self, message: TunnelMessage) -> None:
+        self.uplink.send(message, message.wire_size, self.network._gs_tunnel_receive)
+
+    def deliver_tunnel(self, message: TunnelMessage) -> None:
+        """Tunnel message arriving from the ground station."""
+        socket = self._sockets.get(message.flow_id)
+        if socket is None:
+            return
+        if message.msg_type == TunnelMessageType.DATA and socket.on_data:
+            socket.on_data(message.payload)
+        elif message.msg_type == TunnelMessageType.CLOSE:
+            socket.closed = True
+            if socket.on_close:
+                socket.on_close()
+
+    # -- UDP -------------------------------------------------------------
+
+    def send_udp(
+        self,
+        dst_ip: int,
+        dst_port: int,
+        payload: bytes,
+        on_reply: Optional[Callable[[bytes, float], None]] = None,
+    ) -> int:
+        """Send a UDP datagram; replies come back via ``on_reply``."""
+        src_port = self._alloc_port()
+        if on_reply:
+            self._udp_handlers[src_port] = on_reply
+        packet = Packet(
+            src_ip=self.public_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=IPProtocol.UDP,
+            payload=payload,
+        )
+        self.uplink.send(packet, packet.size_bytes, self.network._gs_udp_from_customer)
+        return src_port
+
+    def open_udp(
+        self,
+        dst_ip: int,
+        dst_port: int,
+        on_reply: Optional[Callable[[bytes, float], None]] = None,
+    ) -> Callable[[bytes], None]:
+        """A persistent UDP 'socket': one source port for many datagrams.
+
+        Returns a sender callable; replies arrive via ``on_reply``.
+        Used for streams (RTP, QUIC) that must keep a stable 5-tuple.
+        """
+        src_port = self._alloc_port()
+        if on_reply:
+            self._udp_handlers[src_port] = on_reply
+
+        def send(payload: bytes) -> None:
+            packet = Packet(
+                src_ip=self.public_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                protocol=IPProtocol.UDP,
+                payload=payload,
+            )
+            self.uplink.send(packet, packet.size_bytes, self.network._gs_udp_from_customer)
+
+        return send
+
+    def deliver_udp(self, packet: Packet) -> None:
+        """UDP reply arriving from the ground station."""
+        handler = self._udp_handlers.get(packet.dst_port)
+        if handler:
+            handler(packet.payload, self.network.sim.now)
+
+    def _alloc_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 65000:
+            self._next_port = 40000
+        return port
+
+
+class ServerHost:
+    """An Internet server with per-connection application factories."""
+
+    def __init__(
+        self,
+        network: "SatComPacketNetwork",
+        ip: int,
+        site: Location,
+        app_factory: Callable[[TcpEndpoint], object],
+    ) -> None:
+        self.network = network
+        self.ip = ip
+        self.site = site
+        self.app_factory = app_factory
+        self._endpoints: Dict[Tuple[int, int, int], TcpEndpoint] = {}
+        one_way = network.internet.base_ground_rtt_ms(site) / 2000.0
+        self.link_to_gs = Link(network.sim, prop_delay_s=one_way, name=f"srv-{ip}-gs")
+        self.link_from_gs = Link(network.sim, prop_delay_s=one_way, name=f"gs-srv-{ip}")
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Packet arriving from the ground station."""
+        key = (packet.src_ip, packet.src_port, packet.dst_port)
+        endpoint = self._endpoints.get(key)
+        if endpoint is None:
+            endpoint = TcpEndpoint(
+                self.network.sim,
+                local_ip=self.ip,
+                local_port=packet.dst_port,
+                remote_ip=packet.src_ip,
+                remote_port=packet.src_port,
+                send_packet=self._send_packet,
+            )
+            endpoint.listen()
+            app = self.app_factory(endpoint)
+            endpoint.on_data = getattr(app, "on_data", None)
+            self._endpoints[key] = endpoint
+        endpoint.handle_packet(packet)
+
+    def _send_packet(self, packet: Packet) -> None:
+        self.link_to_gs.send(packet, packet.size_bytes, self.network._gs_receive_from_ground)
+
+
+class UdpServerHost:
+    """A generic UDP service (QUIC server, RTP reflector, game server).
+
+    ``handler(packet, respond)`` is invoked per datagram; ``respond``
+    sends a payload back to the packet's source through the host's
+    link (the ground station NATs it down to the customer).
+    """
+
+    def __init__(
+        self,
+        network: "SatComPacketNetwork",
+        ip: int,
+        site: Location,
+        handler: Callable[[Packet, Callable[[bytes], None]], None],
+    ) -> None:
+        self.network = network
+        self.ip = ip
+        self.site = site
+        self.handler = handler
+        one_way = network.internet.base_ground_rtt_ms(site) / 2000.0
+        self.link_to_gs = Link(network.sim, prop_delay_s=one_way, name=f"udpsrv-{ip}-gs")
+        self.link_from_gs = Link(network.sim, prop_delay_s=one_way, name=f"gs-udpsrv-{ip}")
+        self.datagrams_handled = 0
+
+    def handle_packet(self, packet: Packet) -> None:
+        """A datagram arriving from the ground station."""
+        self.datagrams_handled += 1
+
+        def respond(payload: bytes) -> None:
+            reply = Packet(
+                src_ip=self.ip,
+                dst_ip=packet.src_ip,
+                src_port=packet.dst_port,
+                dst_port=packet.src_port,
+                protocol=IPProtocol.UDP,
+                payload=payload,
+            )
+            self.link_to_gs.send(
+                reply, reply.size_bytes, self.network._gs_receive_from_ground
+            )
+
+        self.handler(packet, respond)
+
+
+def quic_server_handler(
+    response_bytes: int = 60_000, datagram_bytes: int = 1200
+) -> Callable[[Packet, Callable[[bytes], None]], None]:
+    """A QUIC server behavior for :class:`UdpServerHost`.
+
+    Replies to an Initial with a Handshake packet followed by enough
+    short-header packets to deliver ``response_bytes``.
+    """
+    from repro.protocols import quic as quicproto
+
+    def handler(packet: Packet, respond: Callable[[bytes], None]) -> None:
+        header = quicproto.parse_long_header(packet.payload)
+        if header is None or not header.is_initial:
+            return
+        respond(quicproto.encode_handshake_packet(180))
+        remaining = response_bytes
+        while remaining > 0:
+            chunk = min(datagram_bytes, remaining)
+            respond(quicproto.encode_short_header_packet(chunk))
+            remaining -= chunk
+
+    return handler
+
+
+def rtp_echo_handler() -> Callable[[Packet, Callable[[bytes], None]], None]:
+    """An RTP reflector: echoes every valid RTP packet back."""
+    from repro.protocols import rtp as rtpproto
+
+    def handler(packet: Packet, respond: Callable[[bytes], None]) -> None:
+        if rtpproto.decode(packet.payload) is not None:
+            respond(packet.payload)
+
+    return handler
+
+
+class ResolverHost:
+    """A DNS resolver answering A queries after a processing delay."""
+
+    def __init__(
+        self,
+        network: "SatComPacketNetwork",
+        resolver: Resolver,
+        answer_fn: Callable[[str], int],
+    ) -> None:
+        self.network = network
+        self.resolver = resolver
+        self.ip = resolver.address
+        one_way = network.internet.latency.base_rtt_ms(
+            network.internet.ground_station, resolver.egress
+        ) / 2000.0
+        self.link_to_gs = Link(network.sim, prop_delay_s=one_way, name=f"dns-{resolver.name}-gs")
+        self.link_from_gs = Link(network.sim, prop_delay_s=one_way, name=f"gs-dns-{resolver.name}")
+        self.answer_fn = answer_fn
+        self.queries_served = 0
+
+    def handle_packet(self, packet: Packet) -> None:
+        """A DNS query from the ground station."""
+        try:
+            message = dnsproto.decode(packet.payload)
+        except ValueError:
+            return
+        if message.is_response or message.qname is None:
+            return
+        delay = self.resolver.processing_ms / 1000.0
+        self.network.sim.schedule(delay, self._respond, packet, message)
+
+    def _respond(self, query: Packet, message: dnsproto.Message) -> None:
+        self.queries_served += 1
+        address = self.answer_fn(message.qname)
+        payload = dnsproto.encode_response(message.txid, message.qname, [address])
+        reply = Packet(
+            src_ip=self.ip,
+            dst_ip=query.src_ip,
+            src_port=53,
+            dst_port=query.src_port,
+            protocol=IPProtocol.UDP,
+            payload=payload,
+        )
+        self.link_to_gs.send(reply, reply.size_bytes, self.network._gs_receive_from_ground)
+
+
+@dataclass
+class _GsFlow:
+    """Ground-station PEP state for one proxied connection."""
+
+    flow_id: int
+    customer: CustomerHost
+    endpoint: Optional[TcpEndpoint] = None
+    pending: list = field(default_factory=list)
+    established: bool = False
+    close_requested: bool = False
+
+
+class SatComPacketNetwork:
+    """The assembled network; see module docstring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        internet: InternetModel,
+        rtt_model: Optional[SatelliteRttModel] = None,
+        meter: Optional[FlowMeter] = None,
+        rng: Optional[np.random.Generator] = None,
+        hour_utc: float = 20.0,
+    ) -> None:
+        self.sim = sim
+        self.internet = internet
+        self.rtt_model = rtt_model or SatelliteRttModel()
+        self.geometry = self.rtt_model.geometry
+        self.meter = meter
+        self.rng = rng or np.random.default_rng(0)
+        self.hour_utc = hour_utc
+
+        self._customers: Dict[int, CustomerHost] = {}
+        self._customers_by_ip: Dict[int, CustomerHost] = {}
+        self._servers: Dict[int, ServerHost] = {}
+        self._udp_servers: Dict[int, UdpServerHost] = {}
+        self._resolvers: Dict[int, ResolverHost] = {}
+        self._gs_flows: Dict[int, _GsFlow] = {}
+        self._gs_flows_by_conn: Dict[Tuple[int, int, int, int], _GsFlow] = {}
+        self._country_counters: Dict[str, int] = {}
+
+    # -- topology construction -------------------------------------------
+
+    def add_customer(self, country: str, plan_name: Optional[str] = None) -> CustomerHost:
+        """Provision a subscriber in ``country``."""
+        index = self._country_counters.get(country, 0)
+        self._country_counters[country] = index + 1
+        customer_id = len(self._customers) + 1
+        beam = self.rtt_model.beam_map.assign_beam(country, index)
+        if plan_name is None:
+            continent = COUNTRIES[country].continent
+            plan_name = "sat-30" if continent == "Africa" else "sat-50"
+        plan = PLANS[plan_name]
+        country_idx = list(COUNTRIES).index(country)
+        public_ip = ip_to_int(_BASE_CUSTOMER_NET) + (country_idx << 16) + index + 1
+        customer = CustomerHost(self, customer_id, country, beam, plan, public_ip)
+        self._customers[customer_id] = customer
+        self._customers_by_ip[public_ip] = customer
+        return customer
+
+    def add_server(
+        self,
+        domain: str,
+        site_name: str,
+        app_factory: Callable[[TcpEndpoint], object],
+    ) -> ServerHost:
+        """Deploy a server for ``domain`` at a named site."""
+        site = self.internet.site(site_name)
+        ip = self.internet.server_ip(site, domain)
+        server = ServerHost(self, ip, site, app_factory)
+        self._servers[ip] = server
+        return server
+
+    def add_resolver(self, resolver: Resolver, answer_fn: Callable[[str], int]) -> ResolverHost:
+        """Deploy a resolver host."""
+        host = ResolverHost(self, resolver, answer_fn)
+        self._resolvers[host.ip] = host
+        return host
+
+    def add_udp_server(
+        self,
+        domain: str,
+        site_name: str,
+        handler: Callable[[Packet, Callable[[bytes], None]], None],
+    ) -> UdpServerHost:
+        """Deploy a UDP service (QUIC server, RTP reflector, …)."""
+        site = self.internet.site(site_name)
+        ip = self.internet.server_ip(site, domain)
+        host = UdpServerHost(self, ip, site, handler)
+        self._udp_servers[ip] = host
+        return host
+
+    # -- satellite-segment delay samplers ---------------------------------
+
+    def _uplink_extra_sampler(self, country: str, beam: Beam) -> Callable[[int], float]:
+        location = COUNTRIES[country]
+        elevation = self.geometry.elevation_angle_deg(location)
+
+        def sample(_size: int) -> float:
+            hour_loc = local_hour(location, self.hour_utc)
+            utilization = self.rtt_model.beam_map.utilization(beam, hour_loc)
+            scheduling = float(
+                self.rtt_model.tdma.sample_scheduling_delay_s(utilization, self.rng, 1)[0]
+            )
+            arq = float(
+                self.rtt_model.channel.sample_arq_delay_s(elevation, self.rng, 1, 1)[0]
+            )
+            return scheduling + arq
+
+        return sample
+
+    def _downlink_extra_sampler(self, country: str, beam: Beam) -> Callable[[int], float]:
+        location = COUNTRIES[country]
+        elevation = self.geometry.elevation_angle_deg(location)
+
+        def sample(_size: int) -> float:
+            hour_loc = local_hour(location, self.hour_utc)
+            utilization = self.rtt_model.beam_map.utilization(beam, hour_loc)
+            queue = float(
+                self.rng.exponential(0.010 * min(utilization / (1.0 - utilization), 20.0) + 1e-6)
+            )
+            arq = float(
+                self.rtt_model.channel.sample_arq_delay_s(elevation, self.rng, 1, 1)[0]
+            )
+            return queue + arq
+
+        return sample
+
+    # -- ground-station forwarding ----------------------------------------
+
+    def _observe(self, packet: Packet) -> None:
+        if self.meter is not None:
+            self.meter.process(dataclasses.replace(packet, timestamp=self.sim.now))
+
+    def _gs_send_to_ground(self, packet: Packet) -> None:
+        """GS → Internet: tap, then forward on the right server link."""
+        packet = dataclasses.replace(packet, timestamp=self.sim.now)
+        self._observe(packet)
+        server = self._servers.get(packet.dst_ip)
+        if server is not None:
+            server.link_from_gs.send(packet, packet.size_bytes, server.handle_packet)
+            return
+        udp_server = self._udp_servers.get(packet.dst_ip)
+        if udp_server is not None:
+            udp_server.link_from_gs.send(
+                packet, packet.size_bytes, udp_server.handle_packet
+            )
+            return
+        resolver = self._resolvers.get(packet.dst_ip)
+        if resolver is not None:
+            resolver.link_from_gs.send(packet, packet.size_bytes, resolver.handle_packet)
+
+    def _gs_receive_from_ground(self, packet: Packet) -> None:
+        """Internet → GS: tap, then dispatch (PEP flow or NAT'd UDP)."""
+        self._observe(packet)
+        if packet.protocol == IPProtocol.TCP:
+            key = (packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port)
+            flow = self._gs_flows_by_conn.get(key)
+            if flow is not None and flow.endpoint is not None:
+                flow.endpoint.handle_packet(packet)
+            return
+        customer = self._customers_by_ip.get(packet.dst_ip)
+        if customer is not None:
+            customer.downlink.send(packet, packet.size_bytes, customer.deliver_udp)
+
+    def _gs_udp_from_customer(self, packet: Packet) -> None:
+        """UDP tunneled up from a CPE — forwarded as-is (no PEP)."""
+        self._gs_send_to_ground(packet)
+
+    # -- ground-station PEP ------------------------------------------------
+
+    def _gs_tunnel_receive(self, message: TunnelMessage) -> None:
+        if message.msg_type == TunnelMessageType.CONNECT:
+            self._gs_open_flow(message)
+            return
+        flow = self._gs_flows.get(message.flow_id)
+        if flow is None:
+            return
+        if message.msg_type == TunnelMessageType.DATA:
+            if flow.established and flow.endpoint is not None:
+                flow.endpoint.send(message.payload)
+            else:
+                flow.pending.append(message.payload)
+        elif message.msg_type == TunnelMessageType.CLOSE:
+            flow.close_requested = True
+            if flow.established and flow.endpoint is not None:
+                flow.endpoint.close()
+
+    def _gs_open_flow(self, message: TunnelMessage) -> None:
+        customer = self._customers_by_ip.get(message.src_ip)
+        if customer is None:
+            return
+        flow = _GsFlow(flow_id=message.flow_id, customer=customer)
+        self._gs_flows[message.flow_id] = flow
+        hour_loc = local_hour(COUNTRIES[customer.country], self.hour_utc)
+        pep_load = self.rtt_model.beam_map.pep_utilization(customer.beam, hour_loc)
+        setup_delay = float(self.rtt_model.pep.sample_setup_delay_s(pep_load, self.rng, 1)[0])
+        self.sim.schedule(setup_delay, self._gs_connect_flow, flow, message)
+
+    def _gs_connect_flow(self, flow: _GsFlow, message: TunnelMessage) -> None:
+        endpoint = TcpEndpoint(
+            self.sim,
+            local_ip=message.src_ip,
+            local_port=message.src_port,
+            remote_ip=message.dst_ip,
+            remote_port=message.dst_port,
+            send_packet=self._gs_send_to_ground,
+            on_data=lambda data: self._gs_forward_down(flow, data),
+            on_established=lambda: self._gs_flow_established(flow),
+            on_closed=lambda: self._gs_flow_closed(flow),
+        )
+        flow.endpoint = endpoint
+        key = (message.dst_ip, message.dst_port, message.src_ip, message.src_port)
+        self._gs_flows_by_conn[key] = flow
+        endpoint.connect()
+
+    def _gs_flow_established(self, flow: _GsFlow) -> None:
+        flow.established = True
+        for chunk in flow.pending:
+            flow.endpoint.send(chunk)
+        flow.pending.clear()
+        if flow.close_requested:
+            flow.endpoint.close()
+
+    def _gs_forward_down(self, flow: _GsFlow, data: bytes) -> None:
+        for offset in range(0, len(data), _MSS):
+            chunk = data[offset : offset + _MSS]
+            message = TunnelMessage(
+                flow_id=flow.flow_id, msg_type=TunnelMessageType.DATA, payload=chunk
+            )
+            flow.customer.downlink.send(
+                message, message.wire_size, flow.customer.deliver_tunnel
+            )
+
+    def _gs_flow_closed(self, flow: _GsFlow) -> None:
+        message = TunnelMessage(flow_id=flow.flow_id, msg_type=TunnelMessageType.CLOSE)
+        flow.customer.downlink.send(message, message.wire_size, flow.customer.deliver_tunnel)

@@ -1,0 +1,58 @@
+"""Commercial capacity plans.
+
+Section 2.1: the shaper enforces "commercial maximum capacity of up to
+5 Mb/s in the uplink, and 10, 20, 30, 100 Mb/s in the downlink based on
+the subscriber's contract"; Section 6.5 adds that 30/50/100 Mb/s plans
+are popular in Europe while Africa buys 10 and 30 Mb/s — these plan
+rates are the knees of Figure 11a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One commercial subscription tier."""
+
+    name: str
+    down_mbps: float
+    up_mbps: float
+
+    @property
+    def down_bps(self) -> float:
+        return self.down_mbps * 1e6
+
+    @property
+    def up_bps(self) -> float:
+        return self.up_mbps * 1e6
+
+
+PLANS: Dict[str, Plan] = {
+    plan.name: plan
+    for plan in (
+        Plan("sat-10", 10.0, 2.0),
+        Plan("sat-20", 20.0, 3.0),
+        Plan("sat-30", 30.0, 5.0),
+        Plan("sat-50", 50.0, 5.0),
+        Plan("sat-100", 100.0, 5.0),
+    )
+}
+
+
+#: Plan adoption by continent (Section 6.5): the probability a new
+#: subscriber buys each tier.
+PLAN_MIX_BY_CONTINENT: Dict[str, Dict[str, float]] = {
+    "Europe": {"sat-30": 0.30, "sat-50": 0.35, "sat-100": 0.35},
+    "Africa": {"sat-10": 0.55, "sat-20": 0.08, "sat-30": 0.37},
+}
+
+
+def plan_by_downlink(down_mbps: float) -> Plan:
+    """The plan whose downlink rate matches ``down_mbps`` (raises KeyError)."""
+    for plan in PLANS.values():
+        if plan.down_mbps == down_mbps:
+            return plan
+    raise KeyError(f"no plan with downlink {down_mbps} Mb/s")

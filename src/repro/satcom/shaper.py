@@ -1,0 +1,61 @@
+"""Token-bucket QoS shaper.
+
+The ground station "supports QoS schedulers to prioritize and shape
+traffic depending on the application … The shaper allows also to
+enforce commercial maximum capacity" (Section 2.1). The token bucket
+here enforces plan rates in the packet-level simulator and provides the
+rate arithmetic the flow-level throughput model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TokenBucketShaper:
+    """Classic token bucket: ``rate_bps`` sustained, ``burst_bytes`` depth."""
+
+    rate_bps: float
+    burst_bytes: float = 256 * 1024
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self.burst_bytes <= 0:
+            raise ValueError("burst_bytes must be positive")
+        self._tokens = float(self.burst_bytes)
+        self._last_update = 0.0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently in the bucket (bytes)."""
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_update:
+            raise ValueError("time went backwards")
+        elapsed = now - self._last_update
+        self._tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0)
+        self._last_update = now
+
+    def delay_for(self, size_bytes: int, now: float) -> float:
+        """Seconds until ``size_bytes`` may be released, updating state.
+
+        Returns 0.0 when the bucket has enough tokens; otherwise the
+        debt is paid at the sustained rate (the packet is scheduled
+        into the future, like a real shaper queue).
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        self._refill(now)
+        self._tokens -= size_bytes
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens * 8.0 / self.rate_bps
+
+    def would_conform(self, size_bytes: int, now: float) -> bool:
+        """Whether ``size_bytes`` would pass without delay (no state change)."""
+        elapsed = max(0.0, now - self._last_update)
+        tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0)
+        return tokens >= size_bytes

@@ -1,0 +1,12 @@
+"""A compact discrete-event simulation engine.
+
+Used by :mod:`repro.satcom.network` to run packet-level simulations of
+the SatCom access network. The engine is deliberately minimal: a binary
+heap of timestamped callbacks plus link models with transmission,
+queueing and propagation delay.
+"""
+
+from repro.simnet.engine import Event, Simulator
+from repro.simnet.link import Link, LinkStats
+
+__all__ = ["Event", "Simulator", "Link", "LinkStats"]

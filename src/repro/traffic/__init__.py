@@ -1,0 +1,33 @@
+"""Synthetic subscriber populations and workloads.
+
+Calibrated to the paper's published population aggregates (country mix,
+service adoption of Figure 6, resolver mix of Figure 10, diurnal curves
+of Figure 4) — the *analysis* pipeline then has to re-measure those
+properties from the generated flows, exercising the same code paths the
+paper ran over real traces.
+"""
+
+from repro.traffic.services import (
+    SERVICES,
+    Service,
+    ServiceCategory,
+    service,
+)
+from repro.traffic.profiles import CountryProfile, country_profile
+from repro.traffic.subscribers import Population, Subscriber, SubscriberType, synthesize_population
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "SERVICES",
+    "Service",
+    "ServiceCategory",
+    "service",
+    "CountryProfile",
+    "country_profile",
+    "Population",
+    "Subscriber",
+    "SubscriberType",
+    "synthesize_population",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,137 @@
+"""Emergent congestion: derive beam load from the traffic itself.
+
+The default generator stamps satellite RTTs using the *configured*
+diurnal utilization of each beam. This module closes the loop the real
+network has: the population's traffic **is** the beam load. We measure
+per-(beam, local-hour) offered volume from a generated capture,
+normalize it like the paper normalizes Figure 8b ("to the maximum
+utilization observed across all beams"), and re-stamp the satellite-RTT
+and duration columns with the measured loads.
+
+Usage::
+
+    frame, gen = generate_flow_dataset(config)
+    model = EmergentCongestion.from_frame(frame, gen.beam_map)
+    frame2 = model.restamp(frame, gen.rtt_model, rng)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.aggregate import local_hour_of
+from repro.analysis.dataset import FlowFrame
+from repro.flowmeter.records import L7Protocol, L7_ORDER
+from repro.internet.geo import COUNTRIES
+from repro.satcom.beams import BeamMap
+from repro.satcom.delay_model import SatelliteRttModel
+
+_HTTPS_IDX = L7_ORDER.index(L7Protocol.HTTPS)
+
+
+@dataclass
+class EmergentCongestion:
+    """Per-(beam, local hour) utilization measured from traffic."""
+
+    beam_map: BeamMap
+    utilization: np.ndarray  # [n_beams, 24], in [0, peak_target]
+    pep_load: np.ndarray     # [n_beams, 24]
+    beam_ids: list
+
+    peak_target: float = 0.95
+
+    @classmethod
+    def from_frame(
+        cls,
+        frame: FlowFrame,
+        beam_map: BeamMap,
+        peak_target: float = 0.95,
+        pep_floor: float = 0.72,
+    ) -> "EmergentCongestion":
+        """Measure offered load per (beam, local hour).
+
+        The synthetic capture is volume-scaled relative to the real
+        network, so absolute capacity comparisons are meaningless —
+        loads are normalized to the busiest beam-hour (the paper's
+        Figure 8b normalization) and mapped onto ``[0, peak_target]``.
+        """
+        n_beams = len(beam_map.beams)
+        load = np.zeros((n_beams, 24))
+        hours = local_hour_of(frame).astype(int) % 24
+        volume = frame.bytes_total()
+        valid = frame.beam_idx >= 0
+        np.add.at(
+            load,
+            (frame.beam_idx[valid].astype(int), hours[valid]),
+            volume[valid],
+        )
+        # Offered volume relative to beam capacity, then normalized.
+        capacities = np.array(
+            [beam.capacity_gbps for beam in beam_map.beams]
+        ).reshape(-1, 1)
+        relative = load / capacities
+        peak = relative.max()
+        utilization = (
+            relative / peak * peak_target if peak > 0 else np.zeros_like(relative)
+        )
+
+        # PEP load: each beam's SLA factor shapes how the measured
+        # radio load translates into PEP processing pressure.
+        pep_sla = np.array([beam.pep_load for beam in beam_map.beams]).reshape(-1, 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            relative_to_target = np.where(
+                utilization > 0, utilization / peak_target, 0.0
+            )
+        pep = pep_sla * (pep_floor + (1.0 - pep_floor) * relative_to_target)
+        return cls(
+            beam_map=beam_map,
+            utilization=np.clip(utilization, 0.0, 0.99),
+            pep_load=np.clip(pep, 0.0, 0.99),
+            beam_ids=[beam.beam_id for beam in beam_map.beams],
+            peak_target=peak_target,
+        )
+
+    def utilization_of(self, beam_idx: np.ndarray, hour_local: np.ndarray) -> np.ndarray:
+        """Per-flow utilization lookups."""
+        return self.utilization[beam_idx.astype(int), hour_local.astype(int) % 24]
+
+    def pep_load_of(self, beam_idx: np.ndarray, hour_local: np.ndarray) -> np.ndarray:
+        """Per-flow PEP-load lookups."""
+        return self.pep_load[beam_idx.astype(int), hour_local.astype(int) % 24]
+
+    def busiest_beams(self, top: int = 5) -> Dict[str, float]:
+        """beam id → peak measured utilization (descending)."""
+        peaks = self.utilization.max(axis=1)
+        order = np.argsort(-peaks)[:top]
+        return {self.beam_ids[i]: float(peaks[i]) for i in order}
+
+    def restamp(
+        self,
+        frame: FlowFrame,
+        rtt_model: SatelliteRttModel,
+        rng: np.random.Generator,
+    ) -> FlowFrame:
+        """A new frame whose satellite RTTs reflect the measured loads.
+
+        Only the ``sat_rtt_ms`` column is regenerated (per country, per
+        flow, HTTPS rows); everything else is shared with the input.
+        """
+        sat = frame.sat_rtt_ms.copy()
+        hours = local_hour_of(frame)
+        https = (frame.l7_idx == _HTTPS_IDX) & (frame.beam_idx >= 0)
+        for country_idx in np.unique(frame.country_idx[https]):
+            country = frame.countries[country_idx]
+            if country not in COUNTRIES:
+                continue
+            mask = https & (frame.country_idx == country_idx)
+            util = self.utilization_of(frame.beam_idx[mask], hours[mask])
+            pep = self.pep_load_of(frame.beam_idx[mask], hours[mask])
+            sat[mask] = (
+                rtt_model.sample_handshake_rtt_bulk(country, util, pep, rng) * 1000.0
+            ).astype(np.float32)
+        out = frame.filter(np.ones(len(frame), dtype=bool))
+        out.sat_rtt_ms = sat
+        return out

@@ -1,0 +1,472 @@
+"""Flow-level workload generation.
+
+Produces a :class:`~repro.analysis.dataset.FlowFrame` of hundreds of
+thousands of flows by composing the population (who), the service
+catalog (what), the diurnal profiles (when), the internet model (where
+the server is and what the DNS costs), and the SatCom delay/throughput
+models (what performance the probe records). Everything is vectorized
+per (country, service) batch.
+
+The RTT/throughput columns are stamped with the *same* models the
+packet-level simulator uses — DESIGN.md §2 explains why this preserves
+the paper's observable shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.dataset import FlowFrame
+from repro.constants import SECONDS_PER_DAY
+from repro.internet.geo import COUNTRIES, SERVER_SITES
+from repro.internet.resolvers import RESOLVERS, ResolverCatalog
+from repro.internet.servers import SelectionPolicy, deployment
+from repro.internet.topology import InternetModel
+from repro.satcom.beams import BeamMap, build_default_beam_map
+from repro.satcom.delay_model import SatelliteRttModel
+from repro.traffic.profiles import country_profile
+from repro.traffic.services import SERVICES, L7_ORDER, Service, ServiceCategory
+from repro.traffic.subscribers import (
+    Population,
+    SubscriberType,
+    synthesize_population,
+)
+from repro.flowmeter.records import L7Protocol
+
+_HTTPS_IDX = L7_ORDER.index(L7Protocol.HTTPS)
+_DNS_IDX = L7_ORDER.index(L7Protocol.DNS)
+_DOMAINS_PER_SERVICE = 24
+_VIDEO_BITRATES_MBPS = np.array([2.5, 4.0, 8.0, 16.0])
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of the generator."""
+
+    n_customers: int = 600
+    days: int = 5
+    seed: int = 7
+    countries: Optional[Sequence[str]] = None
+    flow_scale: float = 1.0
+    """Uniformly scales per-customer flow counts (for quick runs)."""
+    include_dns: bool = True
+    dns_flows_per_day: float = 25.0
+    """Mean DNS flows per household-day (scaled by flow multiplier)."""
+
+
+class WorkloadGenerator:
+    """Generates the synthetic capture the analysis pipeline consumes."""
+
+    def __init__(
+        self,
+        config: Optional[WorkloadConfig] = None,
+        internet: Optional[InternetModel] = None,
+        rtt_model: Optional[SatelliteRttModel] = None,
+        population: Optional[Population] = None,
+    ) -> None:
+        self.config = config or WorkloadConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.rtt_model = rtt_model or SatelliteRttModel()
+        self.beam_map: BeamMap = self.rtt_model.beam_map
+        self.internet = internet or InternetModel()
+        for svc in SERVICES.values():
+            if svc.name not in self.internet.deployments:
+                self.internet.register_deployment(
+                    deployment(svc.name, svc.footprint, svc.policy)
+                )
+        self.population = population or synthesize_population(
+            self.config.n_customers,
+            self.rng,
+            countries=self.config.countries,
+            beam_map=self.beam_map,
+        )
+        self._build_pools()
+        self._build_customer_arrays()
+        self._precompute_sites()
+
+    # -- pools and lookups -------------------------------------------------
+
+    def _build_pools(self) -> None:
+        self.countries_pool = list(COUNTRIES)
+        self.beams_pool = [beam.beam_id for beam in self.beam_map.beams]
+        self.services_pool = list(SERVICES)
+        self.sites_pool = list(SERVER_SITES)
+        self.resolvers_pool = list(RESOLVERS)
+        self.domains_pool: List[str] = []
+        self._service_domains: Dict[str, np.ndarray] = {}
+        seen: Dict[str, int] = {}
+        for name, svc in SERVICES.items():
+            indices = []
+            for _ in range(_DOMAINS_PER_SERVICE):
+                domain = svc.sample_domain(self.rng)
+                if domain not in seen:
+                    seen[domain] = len(self.domains_pool)
+                    self.domains_pool.append(domain)
+                indices.append(seen[domain])
+            self._service_domains[name] = np.array(sorted(set(indices)), dtype=np.int32)
+        self._site_base_rtt = np.array(
+            [self.internet.base_ground_rtt_ms(SERVER_SITES[s]) for s in self.sites_pool],
+            dtype=np.float64,
+        )
+
+    def _build_customer_arrays(self) -> None:
+        subs = self.population.subscribers
+        n = len(subs)
+        beam_index = {beam_id: i for i, beam_id in enumerate(self.beams_pool)}
+        resolver_index = {name: i for i, name in enumerate(self.resolvers_pool)}
+        self.cust_country_idx = np.array(
+            [self.countries_pool.index(s.country) for s in subs], dtype=np.int16
+        )
+        self.cust_type = np.array([int(s.subscriber_type) for s in subs], dtype=np.int8)
+        self.cust_plan_down = np.array([s.plan_down_mbps for s in subs], dtype=np.float32)
+        self.cust_beam_idx = np.array([beam_index[s.beam_id] for s in subs], dtype=np.int16)
+        self.cust_beam_peak = np.array([s.beam_peak_utilization for s in subs], dtype=np.float64)
+        self.cust_beam_pep = np.array([s.beam_pep_load for s in subs], dtype=np.float64)
+        self.cust_resolver_idx = np.array(
+            [resolver_index[s.resolver_name] for s in subs], dtype=np.int16
+        )
+        self.cust_volume_mult = np.array([s.volume_multiplier for s in subs], dtype=np.float64)
+        self.cust_flow_mult = np.array([s.flow_multiplier for s in subs], dtype=np.float64)
+        self.cust_size_scale = self.cust_volume_mult / np.maximum(self.cust_flow_mult, 1e-9)
+        self._country_customers: Dict[str, np.ndarray] = {}
+        for country in set(s.country for s in subs):
+            self._country_customers[country] = np.array(
+                [i for i, s in enumerate(subs) if s.country == country], dtype=np.int64
+            )
+
+    def _precompute_sites(self) -> None:
+        """Server-selection outcomes per (service, resolver) and
+        (service, country): site indices into the site pool."""
+        site_index = {name: i for i, name in enumerate(self.sites_pool)}
+        self._site_by_resolver: Dict[str, np.ndarray] = {}
+        self._site_by_country: Dict[str, Dict[str, int]] = {}
+        gs = self.internet.ground_station
+        for name, svc in SERVICES.items():
+            dep = self.internet.deployment_for(name)
+            by_resolver = np.empty(len(self.resolvers_pool), dtype=np.int16)
+            for r_idx, r_name in enumerate(self.resolvers_pool):
+                resolver = RESOLVERS[r_name]
+                site = dep.select_site(resolver.egress, gs, self.internet.latency)
+                by_resolver[r_idx] = site_index[site.name]
+            self._site_by_resolver[name] = by_resolver
+            self._site_by_country[name] = {
+                country: site_index[
+                    dep.select_site(COUNTRIES[country], gs, self.internet.latency).name
+                ]
+                for country in self.countries_pool
+            }
+        self._resolver_is_ecs = np.array(
+            [RESOLVERS[r].supports_ecs for r in self.resolvers_pool], dtype=bool
+        )
+        self._resolver_ecs_accuracy = np.array(
+            [RESOLVERS[r].ecs_accuracy for r in self.resolvers_pool], dtype=np.float64
+        )
+
+    # -- generation ---------------------------------------------------------
+
+    def generate(self) -> FlowFrame:
+        """Produce the full synthetic capture."""
+        chunks: List[Dict[str, np.ndarray]] = []
+        for country, cust_ids in sorted(self._country_customers.items()):
+            profile = country_profile(country)
+            for svc_idx, (name, svc) in enumerate(SERVICES.items()):
+                chunk = self._generate_service_chunk(
+                    country, cust_ids, profile, svc_idx, svc
+                )
+                if chunk is not None:
+                    chunks.append(chunk)
+            if self.config.include_dns:
+                dns_chunk = self._generate_dns_chunk(country, cust_ids, profile)
+                if dns_chunk is not None:
+                    chunks.append(dns_chunk)
+        if not chunks:
+            raise RuntimeError("workload produced no flows")
+        columns = {
+            key: np.concatenate([chunk[key] for chunk in chunks])
+            for key in chunks[0]
+        }
+        return FlowFrame(
+            countries=self.countries_pool,
+            beams=self.beams_pool,
+            services=self.services_pool,
+            domains=self.domains_pool,
+            sites=self.sites_pool,
+            resolvers=self.resolvers_pool,
+            **columns,
+        )
+
+    # -- per-batch internals --------------------------------------------------
+
+    def _activity_pairs(
+        self, cust_ids: np.ndarray, probs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(customer, day) pairs on which the service is used."""
+        days = self.config.days
+        active = self.rng.random((len(cust_ids), days)) < probs[:, None]
+        rows, day_idx = np.nonzero(active)
+        return cust_ids[rows], day_idx
+
+    def _sample_hours(self, profile, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(local hour, UTC hour) arrays of length n."""
+        hour_local = (
+            self.rng.choice(24, size=n, p=profile.hourly_weights_local)
+            + self.rng.uniform(0.0, 1.0, n)
+        )
+        shift = profile.location.lon_deg / 15.0
+        hour_utc = (hour_local - shift) % 24.0
+        return hour_local, hour_utc
+
+    def _generate_service_chunk(
+        self,
+        country: str,
+        cust_ids: np.ndarray,
+        profile,
+        svc_idx: int,
+        svc: Service,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        probs = np.array(
+            [
+                self.population.subscribers[i].daily_use_prob.get(svc.name, 0.0)
+                for i in cust_ids
+            ]
+        )
+        if not probs.any():
+            return None
+        pair_cust, pair_day = self._activity_pairs(cust_ids, probs)
+        if len(pair_cust) == 0:
+            return None
+
+        intensity = profile.category_intensity[svc.category]
+        flow_int = (
+            self.cust_flow_mult[pair_cust]
+            * intensity**0.4
+            * self.config.flow_scale
+        )
+        n_flows = np.maximum(
+            1,
+            np.round(
+                svc.flows_median
+                * flow_int
+                * self.rng.lognormal(0.0, svc.flows_sigma, len(pair_cust))
+            ).astype(np.int64),
+        )
+        flow_cust = np.repeat(pair_cust, n_flows)
+        flow_day = np.repeat(pair_day, n_flows)
+        total = len(flow_cust)
+
+        hour_local, hour_utc = self._sample_hours(profile, total)
+        ts = flow_day * SECONDS_PER_DAY + hour_utc * 3600.0
+
+        l7 = svc.sample_protocol(self.rng, total).astype(np.int8)
+        # Day-to-day burstiness: a small fraction of customer-days are
+        # binges (community APs more often) — these drive the
+        # heavy-hitter tails of Figures 5b/5c.
+        n_pairs = len(pair_cust)
+        binge_prob = np.where(
+            self.cust_type[pair_cust] == int(SubscriberType.COMMUNITY), 0.10, 0.035
+        )
+        binge = self.rng.random(n_pairs) < binge_prob
+        day_factor = np.repeat(
+            self.rng.lognormal(0.0, 0.5, n_pairs) * np.where(binge, 8.0, 1.0),
+            n_flows,
+        )
+        size_scale = self.cust_size_scale[flow_cust] * intensity**0.6 * day_factor
+        bytes_down = svc.size.sample_down(self.rng, total) * size_scale
+        bytes_up = svc.size.sample_up(bytes_down, self.rng)
+
+        domains = self._service_domains[svc.name]
+        domain_idx = domains[self.rng.integers(0, len(domains), total)]
+
+        site_idx = self._select_sites(svc, country, flow_cust, total)
+        ground_rtt = self._site_base_rtt[site_idx] * self.rng.lognormal(
+            0.0, self.internet.latency.jitter_sigma, total
+        )
+
+        utilization = self.beam_map.utilization_bulk(
+            self.cust_beam_peak[flow_cust], hour_local, profile.continent
+        )
+        pep_load = self.beam_map.pep_utilization_bulk(
+            self.cust_beam_pep[flow_cust], hour_local, profile.continent
+        )
+
+        sat_rtt = np.full(total, np.nan, dtype=np.float32)
+        https_mask = l7 == _HTTPS_IDX
+        if https_mask.any():
+            sat_rtt[https_mask] = (
+                self.rtt_model.sample_handshake_rtt_bulk(
+                    country,
+                    utilization[https_mask],
+                    pep_load[https_mask],
+                    self.rng,
+                )
+                * 1000.0
+            ).astype(np.float32)
+
+        duration = self._sample_duration(
+            svc, flow_cust, bytes_down, utilization, sat_rtt, profile.continent
+        )
+
+        return self._make_chunk(
+            ts=ts,
+            day=flow_day,
+            hour_utc=hour_utc,
+            flow_cust=flow_cust,
+            l7=l7,
+            service_idx=np.full(total, svc_idx, dtype=np.int16),
+            domain_idx=domain_idx.astype(np.int32),
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+            duration=duration,
+            sat_rtt=sat_rtt,
+            ground_rtt=ground_rtt.astype(np.float32),
+            resolver_idx=np.full(total, -1, dtype=np.int16),
+            dns_response=np.full(total, np.nan, dtype=np.float32),
+            site_idx=site_idx.astype(np.int16),
+        )
+
+    def _select_sites(
+        self, svc: Service, country: str, flow_cust: np.ndarray, total: int
+    ) -> np.ndarray:
+        resolver_idx = self.cust_resolver_idx[flow_cust]
+        egress_sites = self._site_by_resolver[svc.name][resolver_idx]
+        if svc.policy in (SelectionPolicy.ANYCAST, SelectionPolicy.ORIGIN):
+            return egress_sites
+        ecs_possible = self._resolver_is_ecs[resolver_idx]
+        ecs_roll = self.rng.random(total) < self._resolver_ecs_accuracy[resolver_idx]
+        ecs_mask = ecs_possible & ecs_roll
+        country_site = self._site_by_country[svc.name][country]
+        return np.where(ecs_mask, country_site, egress_sites)
+
+    def _sample_duration(
+        self,
+        svc: Service,
+        flow_cust: np.ndarray,
+        bytes_down: np.ndarray,
+        utilization: np.ndarray,
+        sat_rtt_ms: np.ndarray,
+        continent: str,
+    ) -> np.ndarray:
+        total = len(flow_cust)
+        plan_bps = self.cust_plan_down[flow_cust].astype(np.float64) * 1e6
+        frac = self.rng.beta(6.0, 1.4, total)
+        congestion = np.clip((utilization - 0.55) / 0.45, 0.0, 1.0)
+        rate = plan_bps * frac * (1.0 - 0.55 * congestion * self.rng.uniform(0.5, 1.0, total))
+        community = self.cust_type[flow_cust] == int(SubscriberType.COMMUNITY)
+        rate = np.where(community, rate * self.rng.uniform(0.25, 0.7, total), rate)
+        if continent == "Africa":
+            rate *= 0.9  # less capable end-user terminals (Section 6.5)
+        if svc.category == ServiceCategory.VIDEO:
+            # rate-limited streaming for about half the flows
+            bitrate = _VIDEO_BITRATES_MBPS[self.rng.integers(0, 4, total)] * 1e6
+            limited = self.rng.random(total) < 0.5
+            rate = np.where(limited, np.minimum(rate, bitrate), rate)
+        rate = np.maximum(rate, 20_000.0)
+        # Bulk transfers mostly ride reused (kept-alive) connections, so
+        # their probe-side duration is transfer-dominated — that is what
+        # puts the Figure 11a knees at the commercial plan rates.
+        handshake = np.where(np.isnan(sat_rtt_ms), 600.0, sat_rtt_ms) / 1000.0
+        reused = (bytes_down > 5e6) & (self.rng.random(total) < 0.7)
+        handshake = np.where(reused, 0.0, handshake)
+        tail = self.rng.exponential(0.15, total)
+        return (bytes_down * 8.0 / rate + handshake + tail).astype(np.float32)
+
+    def _generate_dns_chunk(
+        self, country: str, cust_ids: np.ndarray, profile
+    ) -> Optional[Dict[str, np.ndarray]]:
+        days = self.config.days
+        mean = (
+            self.config.dns_flows_per_day
+            * self.cust_flow_mult[cust_ids]
+            * self.config.flow_scale
+        )
+        counts = self.rng.poisson(np.tile(mean, days))
+        if counts.sum() == 0:
+            return None
+        pair_cust = np.tile(cust_ids, days)
+        pair_day = np.repeat(np.arange(days), len(cust_ids))
+        flow_cust = np.repeat(pair_cust, counts)
+        flow_day = np.repeat(pair_day, counts)
+        total = len(flow_cust)
+
+        hour_local, hour_utc = self._sample_hours(profile, total)
+        ts = flow_day * SECONDS_PER_DAY + hour_utc * 3600.0
+
+        resolver_idx = self.cust_resolver_idx[flow_cust].copy()
+        # a small fraction of queries go to secondary resolvers
+        stray = self.rng.random(total) < 0.08
+        if stray.any():
+            resolver_idx[stray] = self.rng.integers(
+                0, len(self.resolvers_pool), stray.sum()
+            )
+
+        response = np.empty(total, dtype=np.float32)
+        for r_idx in np.unique(resolver_idx):
+            mask = resolver_idx == r_idx
+            resolver = RESOLVERS[self.resolvers_pool[r_idx]]
+            response[mask] = resolver.sample_response_ms(
+                self.internet.latency, self.rng, int(mask.sum())
+            ).astype(np.float32)
+
+        bytes_up = self.rng.integers(60, 90, total).astype(np.float64)
+        bytes_down = self.rng.integers(120, 400, total).astype(np.float64)
+
+        return self._make_chunk(
+            ts=ts,
+            day=flow_day,
+            hour_utc=hour_utc,
+            flow_cust=flow_cust,
+            l7=np.full(total, _DNS_IDX, dtype=np.int8),
+            service_idx=np.full(total, -1, dtype=np.int16),
+            domain_idx=np.full(total, -1, dtype=np.int32),
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+            duration=(response / 1000.0).astype(np.float32),
+            sat_rtt=np.full(total, np.nan, dtype=np.float32),
+            ground_rtt=response,
+            resolver_idx=resolver_idx.astype(np.int16),
+            dns_response=response,
+            site_idx=np.full(total, -1, dtype=np.int16),
+        )
+
+    def _make_chunk(
+        self,
+        ts: np.ndarray,
+        day: np.ndarray,
+        hour_utc: np.ndarray,
+        flow_cust: np.ndarray,
+        l7: np.ndarray,
+        service_idx: np.ndarray,
+        domain_idx: np.ndarray,
+        bytes_up: np.ndarray,
+        bytes_down: np.ndarray,
+        duration: np.ndarray,
+        sat_rtt: np.ndarray,
+        ground_rtt: np.ndarray,
+        resolver_idx: np.ndarray,
+        dns_response: np.ndarray,
+        site_idx: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        return {
+            "ts_start": ts.astype(np.float64),
+            "day": day.astype(np.int32),
+            "hour_utc": hour_utc.astype(np.float32),
+            "customer_id": (flow_cust + 1).astype(np.int64),
+            "country_idx": self.cust_country_idx[flow_cust],
+            "subscriber_type": self.cust_type[flow_cust],
+            "beam_idx": self.cust_beam_idx[flow_cust],
+            "l7_idx": l7,
+            "service_true_idx": service_idx,
+            "domain_idx": domain_idx,
+            "bytes_up": bytes_up.astype(np.float64),
+            "bytes_down": bytes_down.astype(np.float64),
+            "duration_s": duration.astype(np.float32),
+            "sat_rtt_ms": sat_rtt,
+            "ground_rtt_ms": ground_rtt.astype(np.float32),
+            "resolver_idx": resolver_idx,
+            "dns_response_ms": dns_response,
+            "site_idx": site_idx,
+            "plan_down_mbps": self.cust_plan_down[flow_cust],
+        }

@@ -1,0 +1,176 @@
+"""Tests for the columnar dataset and statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.dataset import FlowFrame
+from repro.analysis.stats import (
+    boxplot_stats,
+    ccdf,
+    ccdf_at,
+    cdf_at,
+    median_by_group,
+    quantiles,
+    share_by_group,
+)
+from repro.flowmeter.records import FlowRecord, L7Protocol
+
+
+# --- stats ------------------------------------------------------------------
+
+
+def test_ccdf_basic():
+    x, p = ccdf(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert list(x) == [1.0, 2.0, 3.0, 4.0]
+    assert p[0] == 0.75
+    assert p[-1] == 0.0
+
+
+def test_ccdf_empty_and_nan():
+    x, p = ccdf(np.array([]))
+    assert len(x) == 0
+    x, p = ccdf(np.array([np.nan, 1.0]))
+    assert len(x) == 1
+
+
+def test_cdf_ccdf_at():
+    values = np.array([1.0, 2.0, 3.0, 4.0])
+    assert cdf_at(values, 2.5) == 0.5
+    assert ccdf_at(values, 2.5) == 0.5
+    assert cdf_at(values, 10.0) == 1.0
+    assert np.isnan(cdf_at(np.array([]), 1.0))
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_ccdf_properties(values):
+    x, p = ccdf(np.array(values))
+    assert np.all(np.diff(x) >= 0)          # x sorted
+    assert np.all(np.diff(p) <= 1e-12)      # p non-increasing
+    assert p[-1] == 0.0
+    assert np.all((0.0 <= p) & (p <= 1.0))
+
+
+def test_quantiles_match_numpy(rng):
+    values = rng.normal(10, 2, 500)
+    ours = quantiles(values, (0.25, 0.5, 0.75))
+    theirs = np.quantile(values, (0.25, 0.5, 0.75))
+    assert np.allclose(ours, theirs)
+
+
+def test_boxplot_stats_ordering(rng):
+    stats = boxplot_stats(rng.lognormal(0, 1, 2000))
+    assert stats.p5 <= stats.q1 <= stats.median <= stats.q3 <= stats.p95
+    assert stats.n == 2000
+    empty = boxplot_stats(np.array([]))
+    assert empty.n == 0 and np.isnan(empty.median)
+
+
+def test_share_by_group():
+    keys = np.array([0, 0, 1, 1, 1])
+    weights = np.array([1.0, 1.0, 2.0, 2.0, 4.0])
+    shares = share_by_group(keys, weights)
+    assert shares[0] == pytest.approx(0.2)
+    assert shares[1] == pytest.approx(0.8)
+    assert share_by_group(keys, np.zeros(5)) == {}
+
+
+def test_median_by_group():
+    keys = np.array([0, 0, 1])
+    values = np.array([1.0, 3.0, 10.0])
+    medians = median_by_group(keys, values)
+    assert medians == {0: 2.0, 1: 10.0}
+
+
+# --- FlowFrame ----------------------------------------------------------------
+
+
+def test_filter_preserves_pools(small_frame):
+    subset = small_frame.filter(small_frame.country_mask("Spain"))
+    assert subset.countries is small_frame.countries
+    assert len(subset) < len(small_frame)
+    assert np.all(subset.country_idx == small_frame.countries.index("Spain"))
+
+
+def test_customer_day_totals_match_bruteforce(small_frame):
+    subset = small_frame.filter(small_frame.country_mask("Ireland"))
+    value = subset.bytes_down
+    totals = subset.customer_day_totals(value)
+    # brute force on a sample of keys
+    keys = list(totals)[:20]
+    for customer, day in keys:
+        mask = (subset.customer_id == customer) & (subset.day == day)
+        assert totals[(customer, day)] == pytest.approx(value[mask].sum(), rel=1e-9)
+
+
+def test_concat_roundtrip(small_frame):
+    spain = small_frame.filter(small_frame.country_mask("Spain"))
+    congo = small_frame.filter(small_frame.country_mask("Congo"))
+    merged = FlowFrame.concat([spain, congo])
+    assert len(merged) == len(spain) + len(congo)
+
+
+def test_concat_rejects_mismatched_pools(small_frame):
+    other = FlowFrame.from_records([])
+    with pytest.raises(ValueError):
+        FlowFrame.concat([small_frame, other])
+    with pytest.raises(ValueError):
+        FlowFrame.concat([])
+
+
+def test_l7_mask(small_frame):
+    https = small_frame.filter(small_frame.l7_mask(L7Protocol.HTTPS))
+    assert len(https) > 0
+    assert {L7Protocol.HTTPS} == set(https.l7_labels()[:100])
+
+
+def test_throughput_nan_on_zero_duration():
+    frame = FlowFrame.from_records(
+        [
+            FlowRecord(
+                client_ip=1, server_ip=2, client_port=1, server_port=443,
+                l7=L7Protocol.HTTPS, ts_start=0.0, ts_end=0.0, bytes_down=100,
+            )
+        ]
+    )
+    assert np.isnan(frame.download_throughput_bps()[0])
+
+
+def test_from_records_with_country_mapping():
+    records = [
+        FlowRecord(
+            client_ip=10, server_ip=2, client_port=1, server_port=443,
+            l7=L7Protocol.HTTPS, ts_start=3600.0, ts_end=3601.0,
+            domain="a.example", sat_rtt_ms=600.0,
+        ),
+        FlowRecord(
+            client_ip=20, server_ip=3, client_port=2, server_port=53,
+            l7=L7Protocol.DNS, ts_start=90000.0, ts_end=90000.1,
+        ),
+    ]
+    frame = FlowFrame.from_records(records, country_of_client=lambda ip: "Spain" if ip == 10 else "Congo")
+    assert frame.countries == ["Spain", "Congo"]
+    assert frame.domains == ["a.example"]
+    assert frame.day.tolist() == [0, 1]
+    assert frame.hour_utc[0] == pytest.approx(1.0)
+    assert frame.sat_rtt_ms[0] == 600.0
+    assert np.isnan(frame.sat_rtt_ms[1])
+
+
+def test_column_length_validation():
+    frame = FlowFrame.from_records([])
+    with pytest.raises(ValueError):
+        FlowFrame(
+            countries=[], beams=[], services=[], domains=[], sites=[], resolvers=[],
+            **{
+                name: (np.zeros(2) if name == "ts_start" else np.zeros(1))
+                for name in (
+                    "ts_start", "day", "hour_utc", "customer_id", "country_idx",
+                    "subscriber_type", "beam_idx", "l7_idx", "service_true_idx",
+                    "domain_idx", "bytes_up", "bytes_down", "duration_s",
+                    "sat_rtt_ms", "ground_rtt_ms", "resolver_idx",
+                    "dns_response_ms", "site_idx", "plan_down_mbps",
+                )
+            },
+        )

@@ -1,0 +1,66 @@
+"""Tests for the anonymized-subnet → country enrichment."""
+
+import pytest
+
+from repro.analysis.dataset import FlowFrame
+from repro.analysis.enrich import CountryEnricher, country_pools
+from repro.internet.geo import COUNTRIES
+from repro.net.cryptopan import PrefixPreservingAnonymizer
+
+
+def test_pools_cover_every_country():
+    pools = country_pools()
+    assert set(pools) == set(COUNTRIES)
+    assert len(set(pools.values())) == len(pools)  # disjoint /16s
+
+
+def test_enricher_recovers_countries():
+    anonymizer = PrefixPreservingAnonymizer(b"enrich-key")
+    enricher = CountryEnricher.from_anonymizer(anonymizer)
+    pools = country_pools()
+    for country, base in pools.items():
+        for offset in (1, 57, 40_000):
+            anonymized = anonymizer.anonymize_int(base + offset)
+            assert enricher.country_of(anonymized) == country
+
+
+def test_enricher_unknown_prefix():
+    anonymizer = PrefixPreservingAnonymizer(b"enrich-key")
+    enricher = CountryEnricher.from_anonymizer(anonymizer)
+    assert enricher.country_of(0x01020304) is None
+
+
+def test_wrong_key_fails_to_map():
+    """Without the right key the table is useless — the privacy point."""
+    right = PrefixPreservingAnonymizer(b"right-key")
+    wrong = PrefixPreservingAnonymizer(b"wrong-key")
+    enricher = CountryEnricher.from_anonymizer(wrong)
+    base = country_pools()["Spain"]
+    assert enricher.country_of(right.anonymize_int(base + 1)) != "Spain" or True
+    # more precisely: the mapping disagrees for almost all pools
+    mismatches = 0
+    for country, pool in country_pools().items():
+        if enricher.country_of(right.anonymize_int(pool + 1)) != country:
+            mismatches += 1
+    assert mismatches > len(country_pools()) // 2
+
+
+def test_end_to_end_with_packet_sim(packet_sim_result):
+    """The probe anonymizes with CryptoPan; the enricher (holding the
+    same key) labels every exported record's true country."""
+    enricher = CountryEnricher.from_anonymizer(
+        PrefixPreservingAnonymizer(b"repro-key")  # pipeline's key
+    )
+    labelled = 0
+    for record in packet_sim_result.tls_records:
+        country = enricher.country_of(record.client_ip)
+        assert country in COUNTRIES
+        labelled += 1
+    assert labelled == len(packet_sim_result.tls_records)
+
+    frame = FlowFrame.from_records(
+        packet_sim_result.records, country_of_client=enricher.country_of
+    )
+    present = {frame.countries[i] for i in frame.country_idx if i >= 0}
+    assert present <= set(COUNTRIES)
+    assert len(present) >= 3  # the sim provisioned 4 countries

@@ -1,0 +1,76 @@
+"""Tests for the hourly aggregation views (Section 3.1 step two)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rollup import HourlyRollup
+from repro.flowmeter.records import L7Protocol, L7_ORDER
+
+
+@pytest.fixture(scope="module")
+def rollup(small_frame):
+    return HourlyRollup.from_frame(small_frame)
+
+
+def test_rollup_much_smaller_than_flows(small_frame, rollup):
+    """The paper: aggregation reduces data by orders of magnitude."""
+    assert rollup.reduction_factor(small_frame) > 10.0
+    assert len(rollup) > 100
+
+
+def test_totals_preserved(small_frame, rollup):
+    assert rollup.bytes_total.sum() == pytest.approx(
+        small_frame.bytes_total().sum(), rel=1e-9
+    )
+    assert rollup.flows.sum() == len(small_frame)
+    assert rollup.bytes_up.sum() == pytest.approx(small_frame.bytes_up.sum(), rel=1e-9)
+
+
+def test_country_volume_matches_frame(small_frame, rollup):
+    for country in ("Congo", "Spain"):
+        direct = small_frame.bytes_total()[small_frame.country_mask(country)].sum()
+        assert rollup.volume(country=country) == pytest.approx(direct, rel=1e-9)
+
+
+def test_protocol_filter(small_frame, rollup):
+    https = L7_ORDER.index(L7Protocol.HTTPS)
+    direct = small_frame.bytes_total()[small_frame.l7_idx == https].sum()
+    assert rollup.volume(l7_idx=https) == pytest.approx(direct, rel=1e-9)
+
+
+def test_service_filter(small_frame, rollup):
+    idx = small_frame.services.index("Netflix")
+    direct = (small_frame.service_true_idx == idx).sum()
+    assert rollup.flow_count(service="Netflix") == direct
+
+
+def test_hourly_series_matches_frame(small_frame, rollup):
+    series = rollup.hourly_series("Congo")
+    mask = small_frame.country_mask("Congo")
+    hours = small_frame.hour_utc[mask].astype(int) % 24
+    direct = np.zeros(24)
+    np.add.at(direct, hours, small_frame.bytes_total()[mask])
+    assert np.allclose(series, direct)
+
+
+def test_distinct_customers_bounded(small_frame, rollup):
+    """Per-cell distinct customers can never exceed per-cell flows and
+    never exceed the country's customer count."""
+    assert np.all(rollup.customers <= rollup.flows)
+    congo_mask = rollup.country_idx == rollup.countries.index("Congo")
+    congo_customers = len(
+        np.unique(small_frame.customer_id[small_frame.country_mask("Congo")])
+    )
+    assert rollup.customers[congo_mask].max() <= congo_customers
+
+
+def test_hour_and_day_ranges(rollup, small_frame):
+    assert rollup.hour.min() >= 0 and rollup.hour.max() <= 23
+    assert rollup.day.max() == small_frame.day.max()
+
+
+def test_rejects_huge_customer_ids(small_frame):
+    clone = small_frame.filter(np.ones(len(small_frame), dtype=bool))
+    clone.customer_id = clone.customer_id + 2_000_000
+    with pytest.raises(ValueError):
+        HourlyRollup.from_frame(clone)

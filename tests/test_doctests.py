@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.domains
+import repro.net.cryptopan
+import repro.net.inet
+import repro.protocols.dns
+import repro.protocols.http
+import repro.protocols.quic
+import repro.protocols.rtp
+import repro.protocols.tls
+import repro.internet.geo
+import repro.simnet.engine
+
+MODULES = [
+    repro.analysis.domains,
+    repro.net.cryptopan,
+    repro.net.inet,
+    repro.protocols.dns,
+    repro.protocols.http,
+    repro.protocols.quic,
+    repro.protocols.rtp,
+    repro.protocols.tls,
+    repro.internet.geo,
+    repro.simnet.engine,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,93 @@
+"""Tests for the ERRANT model reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.errant.emulator import Emulator, compare_profiles
+from repro.errant.model import AccessLinkProfile, fit_profile, load_profiles, save_profiles
+from repro.errant.profiles import BUILTIN_PROFILES
+
+
+def test_builtin_profiles_sane():
+    geo = BUILTIN_PROFILES["geo-satcom-reference"]
+    starlink = BUILTIN_PROFILES["starlink"]
+    ftth = BUILTIN_PROFILES["ftth"]
+    assert geo.rtt_median_ms > 10 * starlink.rtt_median_ms
+    assert ftth.down_median_mbps > geo.down_median_mbps
+
+
+def test_profile_sampling(rng):
+    profile = BUILTIN_PROFILES["geo-satcom-reference"]
+    rtts = profile.sample_rtt_ms(rng, 5000)
+    assert np.median(rtts) == pytest.approx(profile.rtt_median_ms, rel=0.05)
+    assert np.all(rtts > 0)
+
+
+def test_fit_profile_from_frame(small_frame):
+    profile = fit_profile(small_frame, "Spain")
+    assert 550 < profile.rtt_median_ms < 1500
+    assert 5 < profile.down_median_mbps < 110
+    assert profile.up_median_mbps <= 5.0  # commercial uplink cap
+    assert profile.name == "geo-satcom-spain"
+
+
+def test_fit_profile_peak_slower(small_frame):
+    full = fit_profile(small_frame, "Congo")
+    peak = fit_profile(small_frame, "Congo", peak_only=True)
+    assert peak.rtt_median_ms > full.rtt_median_ms * 0.95
+    assert peak.name.endswith("-peak")
+
+
+def test_fit_requires_samples(small_frame):
+    empty = small_frame.filter(np.zeros(len(small_frame), dtype=bool))
+    with pytest.raises(ValueError):
+        fit_profile(empty, "Spain")
+
+
+def test_profile_round_trip(tmp_path, small_frame):
+    profiles = {
+        "spain": fit_profile(small_frame, "Spain"),
+        "builtin": BUILTIN_PROFILES["starlink"],
+    }
+    path = tmp_path / "profiles.json"
+    save_profiles(profiles, path)
+    loaded = load_profiles(path)
+    assert loaded["spain"] == profiles["spain"]
+    assert loaded["builtin"] == profiles["builtin"]
+
+
+def test_emulator_transfer_ordering():
+    """GEO is slower than Starlink is slower than FTTH for small
+    objects (latency-bound)."""
+    times = compare_profiles(BUILTIN_PROFILES, size_bytes=500_000, n=150, seed=3)
+    assert times["geo-satcom-reference"] > times["starlink"] > times["ftth"]
+
+
+def test_emulator_latency_dominates_small_objects():
+    emulator = Emulator(BUILTIN_PROFILES["geo-satcom-reference"], seed=1)
+    small = emulator.emulate_transfer(10_000, n=100).mean()
+    assert small > 1.0  # ≥ one satellite round trip for TLS + request
+
+
+def test_emulator_rate_dominates_large_objects():
+    emulator = Emulator(BUILTIN_PROFILES["geo-satcom-reference"], seed=1)
+    large = emulator.emulate_transfer(100_000_000, n=20).mean()
+    assert large > 25.0  # 100 MB at ~20 Mb/s
+
+
+def test_page_load_scales_with_objects():
+    emulator = Emulator(BUILTIN_PROFILES["geo-satcom-reference"], seed=1)
+    light = emulator.emulate_page_load(n_objects=6, n=10).mean()
+    heavy = emulator.emulate_page_load(n_objects=60, n=10).mean()
+    assert heavy > 2 * light
+    with pytest.raises(ValueError):
+        emulator.emulate_page_load(n_objects=0)
+
+
+def test_netem_commands_format():
+    emulator = Emulator(BUILTIN_PROFILES["starlink"], seed=0)
+    commands = emulator.netem_commands("eth1")
+    assert len(commands) == 2
+    assert "netem" in commands[0] and "eth1" in commands[0]
+    assert "delay" in commands[0] and "loss" in commands[0]
+    assert "rate 140mbit" in commands[1]

@@ -1,0 +1,34 @@
+"""The example scripts must at least compile; the quickstart runs."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(Path(__file__).parent.parent.glob("examples/*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "community_wifi_africa.py", "dns_cdn_study.py"} <= names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_small():
+    result = subprocess.run(
+        [sys.executable, "examples/quickstart.py", "80", "1"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=Path(__file__).parent.parent,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Table 1" in result.stdout
+    assert "Figure 8a" in result.stdout

@@ -1,0 +1,123 @@
+"""Tests for the DPI engine."""
+
+import pytest
+
+from repro.flowmeter.dpi import DpiEngine
+from repro.flowmeter.records import L7Protocol
+from repro.net.flowkey import Direction
+from repro.protocols import dns, http, quic, rtp, tls
+
+C2S = Direction.CLIENT_TO_SERVER
+S2C = Direction.SERVER_TO_CLIENT
+
+
+def _tcp_engine(port=443, **kwargs):
+    return DpiEngine(protocol="tcp", server_port=port, **kwargs)
+
+
+def _udp_engine(port=443):
+    return DpiEngine(protocol="udp", server_port=port)
+
+
+def test_tls_sni_extraction():
+    engine = _tcp_engine()
+    engine.on_payload(C2S, tls.client_hello("cdn.netflix.com"), 0.0)
+    assert engine.result.l7 is L7Protocol.HTTPS
+    assert engine.result.domain == "cdn.netflix.com"
+
+
+def test_tls_client_hello_split_across_packets():
+    """Reassembly: the SNI must be found even when the ClientHello is
+    fragmented into MSS-sized pieces."""
+    engine = _tcp_engine()
+    hello = tls.client_hello("fragmented.example.org")
+    third = len(hello) // 3
+    engine.on_payload(C2S, hello[:third], 0.0)
+    assert engine.result.domain is None
+    engine.on_payload(C2S, hello[third : 2 * third], 0.1)
+    engine.on_payload(C2S, hello[2 * third :], 0.2)
+    assert engine.result.domain == "fragmented.example.org"
+
+
+def test_tls_handshake_callbacks_fire_once_with_timestamps():
+    events = []
+    engine = _tcp_engine(
+        on_server_hello=lambda t: events.append(("sh", t)),
+        on_client_key_exchange=lambda t: events.append(("cke", t)),
+    )
+    engine.on_payload(C2S, tls.client_hello("a.b"), 0.0)
+    engine.on_payload(S2C, tls.server_hello(), 1.5)
+    engine.on_payload(C2S, tls.client_key_exchange(), 2.1)
+    engine.on_payload(C2S, tls.application_data(100), 2.2)
+    assert events == [("sh", 1.5), ("cke", 2.1)]
+
+
+def test_http_host_extraction():
+    engine = _tcp_engine(port=80)
+    engine.on_payload(C2S, http.encode_request("downloads.sky.com", "/asset"), 0.0)
+    assert engine.result.l7 is L7Protocol.HTTP
+    assert engine.result.domain == "downloads.sky.com"
+
+
+def test_unknown_tcp_labelled_other():
+    engine = _tcp_engine(port=9999)
+    engine.on_payload(C2S, b"\x00\x01\x02\x03 custom protocol", 0.0)
+    assert engine.result.l7 is L7Protocol.OTHER_TCP
+    assert engine.result.domain is None
+
+
+def test_dns_query_response_timing():
+    engine = _udp_engine(port=53)
+    engine.on_payload(C2S, dns.encode_query(4, "api.wechat.com"), 10.0)
+    engine.on_payload(S2C, dns.encode_response(4, "api.wechat.com", [0x05060708]), 10.12)
+    assert engine.result.l7 is L7Protocol.DNS
+    assert engine.result.dns_qname == "api.wechat.com"
+    assert engine.result.dns_response_ms == pytest.approx(120.0)
+    assert engine.result.dns_rcode == dns.RCODE_NOERROR
+
+
+def test_dns_response_without_query_still_labelled():
+    engine = _udp_engine(port=53)
+    engine.on_payload(S2C, dns.encode_response(4, "x.y", [1]), 1.0)
+    assert engine.result.l7 is L7Protocol.DNS
+    assert engine.result.dns_qname == "x.y"
+    assert engine.result.dns_response_ms is None
+
+
+def test_quic_sni():
+    engine = _udp_engine(port=443)
+    engine.on_payload(C2S, quic.encode_initial("quic.youtube.com"), 0.0)
+    assert engine.result.l7 is L7Protocol.QUIC
+    assert engine.result.domain == "quic.youtube.com"
+
+
+def test_quic_short_header_after_initial_keeps_label():
+    engine = _udp_engine(port=443)
+    engine.on_payload(C2S, quic.encode_initial("q.example"), 0.0)
+    engine.on_payload(S2C, quic.encode_short_header_packet(500), 0.6)
+    assert engine.result.l7 is L7Protocol.QUIC
+
+
+def test_rtp_detection():
+    engine = _udp_engine(port=40000)
+    engine.on_payload(C2S, rtp.encode(1, 160, 0xAA, b"voice"), 0.0)
+    assert engine.result.l7 is L7Protocol.RTP
+
+
+def test_unknown_udp_labelled_other():
+    engine = _udp_engine(port=12345)
+    engine.on_payload(C2S, b"\x00\x01\x02", 0.0)
+    assert engine.result.l7 is L7Protocol.OTHER_UDP
+
+
+def test_empty_payload_ignored():
+    engine = _tcp_engine()
+    engine.on_payload(C2S, b"", 0.0)
+    assert engine.result.l7 is None
+
+
+def test_reassembly_buffer_capped():
+    engine = _tcp_engine(port=9999)
+    for _ in range(40):
+        engine.on_payload(C2S, b"\x00" * 1000, 0.0)
+    assert len(engine._buffers[C2S]) <= 17 * 1024

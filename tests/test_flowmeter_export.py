@@ -1,0 +1,58 @@
+"""Tests for flow-log I/O."""
+
+import csv
+
+from repro.flowmeter.export import read_jsonl, write_csv, write_jsonl
+from repro.flowmeter.records import FlowRecord, L7Protocol
+
+
+def _records():
+    return [
+        FlowRecord(
+            client_ip=1, server_ip=2, client_port=1000, server_port=443,
+            l7=L7Protocol.HTTPS, ts_start=0.0, ts_end=1.5,
+            bytes_up=100, bytes_down=5000, pkts_up=3, pkts_down=6,
+            rtt_samples=2, rtt_min_ms=11.0, rtt_avg_ms=12.0, rtt_max_ms=13.0,
+            rtt_std_ms=1.0, sat_rtt_ms=620.0, domain="a.example",
+            first_pkt_times=[0.0, 0.1],
+        ),
+        FlowRecord(
+            client_ip=3, server_ip=4, client_port=1001, server_port=53,
+            l7=L7Protocol.DNS, ts_start=2.0, ts_end=2.1,
+            dns_qname="b.example", dns_resolver_ip=4, dns_response_ms=20.0,
+        ),
+    ]
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "flows.jsonl"
+    assert write_jsonl(_records(), path) == 2
+    loaded = read_jsonl(path)
+    assert loaded == _records()
+
+
+def test_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "flows.jsonl"
+    write_jsonl(_records(), path)
+    path.write_text(path.read_text() + "\n\n")
+    assert len(read_jsonl(path)) == 2
+
+
+def test_csv_export(tmp_path):
+    path = tmp_path / "flows.csv"
+    assert write_csv(_records(), path) == 2
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert rows[0]["l7"] == "tcp/https"
+    assert rows[0]["domain"] == "a.example"
+    assert rows[1]["dns_qname"] == "b.example"
+
+
+def test_record_helpers():
+    record = _records()[0]
+    assert record.duration_s == 1.5
+    assert record.bytes_total == 5100
+    assert record.download_throughput_bps() == 5000 * 8 / 1.5
+    instant = _records()[1]
+    assert instant.download_throughput_bps() is None

@@ -1,0 +1,156 @@
+"""Tests for the flow meter facade."""
+
+import pytest
+
+from repro.flowmeter.meter import FlowMeter
+from repro.flowmeter.records import L7Protocol
+from repro.net.cryptopan import PrefixPreservingAnonymizer
+from repro.net.packet import IPProtocol, Packet, TCPFlags
+from repro.protocols import dns, tls
+
+CLIENT = 0x0A000001
+SERVER = 0x17000001
+
+
+def tcp(src, dst, sp, dp, flags=0, seq=0, ack=0, payload=b"", t=0.0):
+    return Packet(
+        src_ip=src, dst_ip=dst, src_port=sp, dst_port=dp,
+        protocol=IPProtocol.TCP, flags=TCPFlags(flags), seq=seq, ack=ack,
+        payload=payload, timestamp=t,
+    )
+
+
+def udp(src, dst, sp, dp, payload, t=0.0):
+    return Packet(
+        src_ip=src, dst_ip=dst, src_port=sp, dst_port=dp,
+        protocol=IPProtocol.UDP, payload=payload, timestamp=t,
+    )
+
+
+def run_tls_flow(meter, t0=0.0, client=CLIENT, sport=50000):
+    """Replay a complete TLS connection as seen at the ground station."""
+    ch = tls.client_hello("www.netflix.com")
+    sh = tls.server_hello()
+    cke = tls.client_key_exchange()
+    A, F = TCPFlags.ACK, TCPFlags.FIN
+    seq_c, seq_s = 1, 1
+    meter.process(tcp(client, SERVER, sport, 443, TCPFlags.SYN, t=t0))
+    meter.process(tcp(SERVER, client, 443, sport, TCPFlags.SYN | A, ack=1, t=t0 + 0.012))
+    meter.process(tcp(client, SERVER, sport, 443, A, seq=1, ack=1, t=t0 + 0.012))
+    meter.process(tcp(client, SERVER, sport, 443, A, seq=seq_c, payload=ch, ack=1, t=t0 + 0.1))
+    seq_c += len(ch)
+    meter.process(tcp(SERVER, client, 443, sport, A, seq=1, ack=seq_c, t=t0 + 0.112))
+    meter.process(tcp(SERVER, client, 443, sport, A, seq=seq_s, payload=sh, ack=seq_c, t=t0 + 0.113))
+    seq_s += len(sh)
+    meter.process(tcp(client, SERVER, sport, 443, A, seq=seq_c, payload=cke, ack=seq_s, t=t0 + 0.73))
+    seq_c += len(cke)
+    meter.process(tcp(SERVER, client, 443, sport, A, seq=seq_s, ack=seq_c, t=t0 + 0.742))
+    meter.process(tcp(client, SERVER, sport, 443, F | A, seq=seq_c, ack=seq_s, t=t0 + 1.0))
+    meter.process(tcp(SERVER, client, 443, sport, F | A, seq=seq_s, ack=seq_c + 1, t=t0 + 1.012))
+    meter.process(tcp(client, SERVER, sport, 443, A, seq=seq_c + 1, ack=seq_s + 1, t=t0 + 1.012))
+
+
+def test_complete_tls_flow_record():
+    meter = FlowMeter()
+    run_tls_flow(meter)
+    assert len(meter.records) == 1
+    record = meter.records[0]
+    assert record.l7 is L7Protocol.HTTPS
+    assert record.domain == "www.netflix.com"
+    assert record.sat_rtt_ms == pytest.approx(617.0, abs=1.0)
+    assert record.rtt_avg_ms == pytest.approx(12.0, abs=0.5)
+    assert record.rtt_samples == 2
+    assert record.bytes_up > 0 and record.bytes_down > 0
+    assert record.duration_s == pytest.approx(1.012)
+
+
+def test_flow_closed_by_rst():
+    meter = FlowMeter()
+    meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.SYN, t=0.0))
+    meter.process(tcp(SERVER, CLIENT, 443, 50000, TCPFlags.RST | TCPFlags.ACK, t=0.5))
+    assert len(meter.records) == 1
+    assert meter.active_flows == 0
+
+
+def test_stray_ack_does_not_create_flow():
+    meter = FlowMeter()
+    meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.ACK, seq=100, ack=7, t=0.0))
+    assert meter.active_flows == 0
+    assert meter.records == []
+
+
+def test_idle_timeout_expiry():
+    meter = FlowMeter(idle_timeout_s=60.0)
+    meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.SYN, t=0.0))
+    assert meter.expire(now=30.0) == 0
+    assert meter.expire(now=61.0) == 1
+    assert len(meter.records) == 1
+
+
+def test_flush_all():
+    meter = FlowMeter()
+    meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.SYN, t=0.0))
+    meter.process(udp(CLIENT, 0x08080808, 40000, 53, dns.encode_query(1, "a.b"), 0.0))
+    assert meter.active_flows == 2
+    meter.flush_all()
+    assert meter.active_flows == 0
+    assert len(meter.records) == 2
+
+
+def test_anonymizer_applied_to_client_only():
+    anonymizer = PrefixPreservingAnonymizer(b"test-key")
+    meter = FlowMeter(anonymizer=anonymizer)
+    run_tls_flow(meter)
+    record = meter.records[0]
+    assert record.client_ip == anonymizer.anonymize_int(CLIENT)
+    assert record.server_ip == SERVER  # servers stay in the clear
+
+
+def test_anonymization_preserves_customer_subnets():
+    anonymizer = PrefixPreservingAnonymizer(b"test-key")
+    meter = FlowMeter(anonymizer=anonymizer)
+    run_tls_flow(meter, client=0x0A000001, sport=50001)
+    run_tls_flow(meter, client=0x0A000002, sport=50002)
+    a, b = (r.client_ip for r in meter.records)
+    assert a != b
+    assert a >> 8 == b >> 8  # same /24 after anonymization
+
+
+def test_dns_flow_record_fields():
+    meter = FlowMeter()
+    resolver = 0x08080808
+    meter.process(udp(CLIENT, resolver, 40001, 53, dns.encode_query(7, "app.scooper.news"), 5.0))
+    meter.process(udp(resolver, CLIENT, 53, 40001, dns.encode_response(7, "app.scooper.news", [1]), 5.13))
+    meter.flush_all()
+    record = meter.records[0]
+    assert record.l7 is L7Protocol.DNS
+    assert record.dns_qname == "app.scooper.news"
+    assert record.dns_resolver_ip == resolver
+    assert record.dns_response_ms == pytest.approx(130.0)
+
+
+def test_two_concurrent_flows_tracked_separately():
+    meter = FlowMeter()
+    run_tls_flow(meter, t0=0.0, sport=50000)
+    run_tls_flow(meter, t0=0.5, sport=50001)
+    assert len(meter.records) == 2
+    ports = {r.client_port for r in meter.records}
+    assert ports == {50000, 50001}
+
+
+def test_first_packet_times_capped_at_ten():
+    meter = FlowMeter()
+    for i in range(15):
+        meter.process(
+            tcp(CLIENT, SERVER, 50000, 443, TCPFlags.ACK,
+                seq=1 + i, payload=b"x", ack=1, t=float(i))
+        )
+    meter.flush_all()
+    assert len(meter.records[0].first_pkt_times) == 10
+    assert meter.records[0].first_pkt_times == [float(i) for i in range(10)]
+
+
+def test_packets_processed_counter():
+    meter = FlowMeter()
+    run_tls_flow(meter)
+    assert meter.packets_processed == 11

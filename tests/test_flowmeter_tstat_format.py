@@ -1,0 +1,109 @@
+"""Tests for the Tstat-compatible log export."""
+
+import pytest
+
+from repro.flowmeter.records import FlowRecord, L7Protocol
+from repro.flowmeter.tstat_format import (
+    TCP_COLUMNS,
+    UDP_COLUMNS,
+    parse_tcp_line,
+    tcp_line,
+    udp_line,
+    write_tstat_logs,
+)
+from repro.net.inet import ip_to_int
+
+
+def _tcp_record(**kwargs):
+    defaults = dict(
+        client_ip=ip_to_int("10.0.0.1"),
+        server_ip=ip_to_int("23.10.0.5"),
+        client_port=50000,
+        server_port=443,
+        l7=L7Protocol.HTTPS,
+        ts_start=1.0,
+        ts_end=2.5,
+        bytes_up=500,
+        bytes_down=90_000,
+        pkts_up=10,
+        pkts_down=70,
+        rtt_samples=3,
+        rtt_min_ms=11.0,
+        rtt_avg_ms=12.5,
+        rtt_max_ms=14.0,
+        rtt_std_ms=1.2,
+        sat_rtt_ms=612.0,
+        domain="edge.example.com",
+    )
+    defaults.update(kwargs)
+    return FlowRecord(**defaults)
+
+
+def _udp_record():
+    return FlowRecord(
+        client_ip=ip_to_int("10.0.0.2"),
+        server_ip=ip_to_int("8.8.8.8"),
+        client_port=40000,
+        server_port=53,
+        l7=L7Protocol.DNS,
+        ts_start=5.0,
+        ts_end=5.02,
+        bytes_up=60,
+        bytes_down=200,
+        dns_qname="a.example.com",
+    )
+
+
+def test_tcp_line_column_count():
+    line = tcp_line(_tcp_record())
+    assert len(line.split()) == len(TCP_COLUMNS)
+
+
+def test_tcp_line_round_trip():
+    parsed = parse_tcp_line(tcp_line(_tcp_record()))
+    assert parsed["c_ip"] == "10.0.0.1"
+    assert parsed["s_port"] == 443
+    assert parsed["c_bytes"] == 500
+    assert parsed["s_bytes"] == 90_000
+    assert parsed["durat"] == pytest.approx(1500.0)  # milliseconds
+    assert parsed["c_rtt_avg"] == pytest.approx(12.5)
+    assert parsed["sat_rtt"] == pytest.approx(612.0)
+    assert parsed["fqdn"] == "edge.example.com"
+
+
+def test_missing_fields_dashed():
+    record = _tcp_record(rtt_avg_ms=None, rtt_min_ms=None, rtt_max_ms=None,
+                         rtt_std_ms=None, sat_rtt_ms=None, domain=None)
+    parsed = parse_tcp_line(tcp_line(record))
+    assert parsed["c_rtt_avg"] is None
+    assert parsed["sat_rtt"] is None
+    assert parsed["fqdn"] == "-"
+
+
+def test_udp_line_uses_qname_fallback():
+    line = udp_line(_udp_record())
+    assert len(line.split()) == len(UDP_COLUMNS)
+    assert line.endswith("a.example.com")
+
+
+def test_write_tstat_logs(tmp_path):
+    tcp_path, udp_path = write_tstat_logs([_tcp_record(), _udp_record()], tmp_path)
+    tcp_text = tcp_path.read_text().splitlines()
+    udp_text = udp_path.read_text().splitlines()
+    assert tcp_text[0].startswith("#c_ip")
+    assert len(tcp_text) == 2
+    assert len(udp_text) == 2
+    parse_tcp_line(tcp_text[1])  # parseable
+
+
+def test_parse_rejects_wrong_column_count():
+    with pytest.raises(ValueError):
+        parse_tcp_line("1 2 3")
+
+
+def test_export_from_packet_sim(packet_sim_result, tmp_path):
+    tcp_path, udp_path = write_tstat_logs(packet_sim_result.records, tmp_path)
+    tcp_lines = tcp_path.read_text().splitlines()
+    assert len(tcp_lines) == 1 + len(packet_sim_result.tls_records)
+    parsed = parse_tcp_line(tcp_lines[1])
+    assert parsed["sat_rtt"] > 480.0

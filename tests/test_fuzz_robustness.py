@@ -1,0 +1,98 @@
+"""Failure injection / fuzz: the probe must survive arbitrary traffic."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flowmeter.meter import FlowMeter
+from repro.net.packet import IPProtocol, Packet, TCPFlags
+from repro.protocols import tls
+
+
+packet_strategy = st.builds(
+    Packet,
+    src_ip=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dst_ip=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    src_port=st.integers(min_value=0, max_value=65535),
+    dst_port=st.sampled_from([53, 80, 443, 8080, 40000]),
+    protocol=st.sampled_from([IPProtocol.TCP, IPProtocol.UDP]),
+    payload=st.binary(max_size=200),
+    flags=st.integers(min_value=0, max_value=0x1F).map(TCPFlags),
+    seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ack=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(packet_strategy, max_size=60))
+def test_meter_never_crashes_on_fuzzed_packets(packets):
+    meter = FlowMeter()
+    for packet in packets:
+        meter.process(packet)
+    meter.expire(now=1e9)
+    meter.flush_all()
+    for record in meter.records:
+        assert record.ts_end >= record.ts_start
+        assert record.bytes_up >= 0 and record.bytes_down >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=400), st.integers(min_value=0, max_value=50))
+def test_meter_survives_corrupted_tls(garbage, split_at):
+    """A valid ClientHello followed by corruption mid-stream."""
+    meter = FlowMeter()
+    hello = tls.client_hello("fuzzed.example")
+    stream = hello[: max(1, split_at)] + garbage
+    seq = 1
+    for offset in range(0, len(stream), 100):
+        chunk = stream[offset : offset + 100]
+        meter.process(
+            Packet(
+                src_ip=1, dst_ip=2, src_port=1000, dst_port=443,
+                protocol=IPProtocol.TCP, flags=TCPFlags.ACK | TCPFlags.PSH,
+                seq=seq, ack=1, payload=chunk, timestamp=float(offset),
+            )
+        )
+        seq += len(chunk)
+    meter.flush_all()
+    assert len(meter.records) == 1
+
+
+def test_meter_handles_interleaved_thousand_flows(rng):
+    """Many concurrent flows with interleaved packets — bounded state,
+    correct per-flow accounting."""
+    meter = FlowMeter()
+    n_flows = 300
+    for round_idx in range(4):
+        for flow in range(n_flows):
+            meter.process(
+                Packet(
+                    src_ip=0x0A000000 + flow, dst_ip=0x17000001,
+                    src_port=40000 + flow, dst_port=443,
+                    protocol=IPProtocol.TCP,
+                    flags=TCPFlags.SYN if round_idx == 0 else TCPFlags.ACK | TCPFlags.PSH,
+                    seq=1 + round_idx * 100, ack=1,
+                    payload=b"" if round_idx == 0 else b"y" * 100,
+                    timestamp=float(round_idx),
+                )
+            )
+    assert meter.active_flows == n_flows
+    meter.flush_all()
+    assert len(meter.records) == n_flows
+    for record in meter.records:
+        assert record.bytes_up == 300  # 3 data rounds × 100 B
+
+
+def test_expire_leaves_fresh_flows(rng):
+    meter = FlowMeter(idle_timeout_s=10.0)
+    for i, t in enumerate((0.0, 100.0)):
+        meter.process(
+            Packet(
+                src_ip=1 + i, dst_ip=2, src_port=1000 + i, dst_port=443,
+                protocol=IPProtocol.TCP, flags=TCPFlags.SYN, timestamp=t,
+            )
+        )
+    expired = meter.expire(now=101.0)
+    assert expired == 1
+    assert meter.active_flows == 1

@@ -1,0 +1,95 @@
+"""Packet-level tests for the mixed-protocol path: TLS 1.3, plain HTTP,
+QUIC and RTP through the PEP/tunnel network with the probe watching."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import run_mixed_protocol_simulation
+from repro.protocols import tls
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return run_mixed_protocol_simulation(seed=11, country="Spain", n_each=3)
+
+
+def test_all_clients_complete(mixed):
+    assert all(c.result.complete for c in mixed.tls13_clients)
+    assert all(c.complete for c in mixed.http_clients)
+    assert all(c.complete for c in mixed.quic_clients)
+    assert all(s.echoes == s.n_packets for s in mixed.rtp_sessions)
+
+
+def test_probe_labels_every_protocol(mixed):
+    labels = {r.l7.value for r in mixed.records}
+    assert {"tcp/https", "tcp/http", "udp/quic", "udp/rtp"} <= labels
+
+
+def test_tls13_satellite_rtt_via_ccs(mixed):
+    """No ClientKeyExchange exists in TLS 1.3 — the estimator must fall
+    back to the client's ChangeCipherSpec and still land above the
+    propagation floor."""
+    for record in mixed.records_of("tcp/https"):
+        assert record.sat_rtt_ms is not None
+        assert record.sat_rtt_ms > 480.0
+        assert record.domain == "modern.example-cdn.com"
+
+
+def test_http_host_recovered(mixed):
+    for record in mixed.records_of("tcp/http"):
+        assert record.domain == "downloads.example-http.com"
+        assert record.bytes_down > 40_000
+
+
+def test_quic_sni_recovered_and_unproxied(mixed):
+    for record in mixed.records_of("udp/quic"):
+        assert record.domain == "video.example-quic.com"
+        assert record.bytes_down > 45_000
+        assert record.sat_rtt_ms is None  # TLS trick needs TCP through the PEP
+
+
+def test_quic_pays_full_satellite_rtt(mixed):
+    """UDP bypasses the PEP: time-to-first-byte includes the satellite
+    both ways."""
+    for client in mixed.quic_clients:
+        assert client.first_byte_at - client.started_at > 0.5
+
+
+def test_rtp_flows_balanced(mixed):
+    for record in mixed.records_of("udp/rtp"):
+        assert record.pkts_up == record.pkts_down
+        assert record.bytes_up == record.bytes_down
+
+
+def test_rtp_mouth_to_ear_above_satellite_floor(mixed):
+    rtts = [t for s in mixed.rtp_sessions for t in s.round_trips_s]
+    assert np.mean(rtts) > 0.55
+    assert np.mean(rtts) < 3.0
+
+
+# --- TLS 1.3 codec units ------------------------------------------------------
+
+
+def test_server_hello_tls13_structure():
+    flight = tls.server_hello_tls13(certificate_len=1000)
+    parsed = tls.parse_stream(flight)
+    assert parsed.handshake_types == [tls.HandshakeType.SERVER_HELLO]
+    kinds = [r.content_type for r in parsed.records]
+    assert tls.ContentType.CHANGE_CIPHER_SPEC in kinds
+    app = sum(
+        r.length for r in parsed.records
+        if r.content_type == tls.ContentType.APPLICATION_DATA
+    )
+    assert app == 1000
+
+
+def test_client_finished_tls13_structure():
+    flight = tls.client_finished_tls13()
+    records = tls.parse_records(flight)
+    assert records[0].content_type == tls.ContentType.CHANGE_CIPHER_SPEC
+    assert records[1].content_type == tls.ContentType.APPLICATION_DATA
+
+
+def test_server_hello_tls13_validates_random():
+    with pytest.raises(ValueError):
+        tls.server_hello_tls13(random=b"short")

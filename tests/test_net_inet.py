@@ -1,0 +1,77 @@
+"""Unit + property tests for IPv4 helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.inet import IPv4Network, ip_from_int, ip_in_network, ip_to_int
+
+
+def test_ip_round_trip_known_values():
+    assert ip_to_int("0.0.0.0") == 0
+    assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+    assert ip_to_int("10.0.0.1") == 0x0A000001
+    assert ip_from_int(0x08080808) == "8.8.8.8"
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_ip_round_trip_property(value):
+    assert ip_to_int(ip_from_int(value)) == value
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""])
+def test_invalid_addresses_rejected(bad):
+    with pytest.raises(ValueError):
+        ip_to_int(bad)
+
+
+def test_ip_from_int_range_checked():
+    with pytest.raises(ValueError):
+        ip_from_int(-1)
+    with pytest.raises(ValueError):
+        ip_from_int(1 << 32)
+
+
+def test_ip_in_network():
+    net = ip_to_int("192.168.0.0")
+    assert ip_in_network(ip_to_int("192.168.5.1"), net, 16)
+    assert not ip_in_network(ip_to_int("192.169.0.1"), net, 16)
+    assert ip_in_network(ip_to_int("1.2.3.4"), net, 0)  # /0 matches all
+
+
+def test_network_parse_and_contains():
+    net = IPv4Network.parse("10.1.0.0/16")
+    assert net.size == 65536
+    assert str(net) == "10.1.0.0/16"
+    assert ip_to_int("10.1.255.255") in net
+    assert ip_to_int("10.2.0.0") not in net
+
+
+def test_network_parse_masks_host_bits():
+    net = IPv4Network.parse("10.1.2.3/16")
+    assert net.base == ip_to_int("10.1.0.0")
+
+
+def test_network_address_indexing():
+    net = IPv4Network.parse("10.0.0.0/24")
+    assert net.address(0) == ip_to_int("10.0.0.0")
+    assert net.address(255) == ip_to_int("10.0.0.255")
+    with pytest.raises(IndexError):
+        net.address(256)
+
+
+def test_network_parse_errors():
+    with pytest.raises(ValueError):
+        IPv4Network.parse("10.0.0.0")
+    with pytest.raises(ValueError):
+        IPv4Network.parse("10.0.0.0/33")
+
+
+def test_network_hosts_iteration():
+    net = IPv4Network.parse("10.0.0.0/30")
+    assert list(net.hosts()) == [ip_to_int("10.0.0.0") + i for i in range(4)]
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.integers(min_value=1, max_value=32))
+def test_address_always_inside_own_prefix(value, prefix_len):
+    assert ip_in_network(value, value, prefix_len)

@@ -1,0 +1,79 @@
+"""Tests for packet representation and flow keys."""
+
+import pytest
+
+from repro.constants import IPV4_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN
+from repro.net.flowkey import Direction, FiveTuple
+from repro.net.packet import IPProtocol, Packet, TCPFlags
+
+
+def _tcp_packet(**kwargs):
+    defaults = dict(
+        src_ip=1, dst_ip=2, src_port=1000, dst_port=443, protocol=IPProtocol.TCP
+    )
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+def test_packet_size_includes_headers():
+    pkt = _tcp_packet(payload=b"x" * 100)
+    assert pkt.size_bytes == IPV4_HEADER_LEN + TCP_HEADER_LEN + 100
+    udp = Packet(src_ip=1, dst_ip=2, src_port=1, dst_port=53, protocol=IPProtocol.UDP, payload=b"y" * 40)
+    assert udp.size_bytes == IPV4_HEADER_LEN + UDP_HEADER_LEN + 40
+
+
+def test_port_validation():
+    with pytest.raises(ValueError):
+        _tcp_packet(src_port=70000)
+    with pytest.raises(ValueError):
+        _tcp_packet(dst_port=-1)
+
+
+def test_flags():
+    pkt = _tcp_packet(flags=TCPFlags.SYN | TCPFlags.ACK)
+    assert pkt.has_flag(TCPFlags.SYN)
+    assert pkt.has_flag(TCPFlags.ACK)
+    assert not pkt.has_flag(TCPFlags.FIN)
+
+
+def test_reply_template_swaps_endpoints():
+    pkt = _tcp_packet()
+    reply = pkt.reply_template()
+    assert (reply.src_ip, reply.dst_ip) == (2, 1)
+    assert (reply.src_port, reply.dst_port) == (443, 1000)
+    assert reply.protocol == IPProtocol.TCP
+
+
+def test_five_tuple_canonical_roles():
+    pkt = _tcp_packet()
+    key, direction = FiveTuple.from_packet(pkt)
+    assert direction is Direction.CLIENT_TO_SERVER
+    assert key.client_ip == 1 and key.server_ip == 2
+    assert key.reversed().client_ip == 2
+
+
+def test_direction_of():
+    pkt = _tcp_packet()
+    key, _ = FiveTuple.from_packet(pkt)
+    assert key.direction_of(pkt) is Direction.CLIENT_TO_SERVER
+    reply = pkt.reply_template()
+    assert key.direction_of(reply) is Direction.SERVER_TO_CLIENT
+
+
+def test_direction_of_foreign_packet_raises():
+    key, _ = FiveTuple.from_packet(_tcp_packet())
+    foreign = _tcp_packet(src_ip=99)
+    with pytest.raises(ValueError):
+        key.direction_of(foreign)
+
+
+def test_direction_flipped():
+    assert Direction.CLIENT_TO_SERVER.flipped() is Direction.SERVER_TO_CLIENT
+    assert Direction.SERVER_TO_CLIENT.flipped() is Direction.CLIENT_TO_SERVER
+
+
+def test_five_tuple_hashable_and_distinct():
+    a, _ = FiveTuple.from_packet(_tcp_packet())
+    b, _ = FiveTuple.from_packet(_tcp_packet(src_port=1001))
+    assert a != b
+    assert len({a, b, a.reversed()}) == 3

@@ -1,0 +1,118 @@
+"""Edge cases of the PEP tunnel plumbing in the packet network."""
+
+import numpy as np
+import pytest
+
+from repro.internet.topology import InternetModel
+from repro.satcom.apps import TlsClientApp, TlsServerApp
+from repro.satcom.network import SatComPacketNetwork
+from repro.satcom.pep import TunnelMessage, TunnelMessageType
+from repro.simnet.engine import Simulator
+
+
+@pytest.fixture()
+def net():
+    sim = Simulator()
+    return SatComPacketNetwork(
+        sim, InternetModel(), rng=np.random.default_rng(3), hour_utc=14.0
+    )
+
+
+def _tls_server(net, domain="edge.example", site="Milan-IX", response=3_000):
+    return net.add_server(
+        domain, site,
+        app_factory=lambda ep: TlsServerApp(ep.send, ep.close, response_bytes=response),
+    )
+
+
+def test_close_right_after_open(net):
+    """App opens and immediately closes: the GS proxy must still tear
+    down its server-side connection once it establishes."""
+    server = _tls_server(net)
+    customer = net.add_customer("Spain")
+    socket = customer.open_tcp(server.ip, 443)
+    socket.close()
+    net.sim.run(until=30.0)
+    # the GS proxy half-closed toward the server (the server side keeps
+    # the other direction open, as real TCP allows)
+    flow = net._gs_flows[socket.flow_id]
+    assert flow.close_requested
+    assert flow.endpoint is not None and flow.endpoint._fin_sent
+
+
+def test_double_close_is_idempotent(net):
+    server = _tls_server(net)
+    customer = net.add_customer("Spain")
+    socket = customer.open_tcp(server.ip, 443)
+    socket.close()
+    socket.close()  # second close is a no-op
+    net.sim.run(until=30.0)
+    assert socket.closed
+
+
+def test_send_after_close_raises(net):
+    server = _tls_server(net)
+    customer = net.add_customer("Spain")
+    socket = customer.open_tcp(server.ip, 443)
+    socket.close()
+    with pytest.raises(RuntimeError):
+        socket.send(b"late")
+
+
+def test_tunnel_data_for_unknown_flow_ignored(net):
+    """Stray DATA after teardown must not crash the ground station."""
+    net._gs_tunnel_receive(
+        TunnelMessage(flow_id=999_999, msg_type=TunnelMessageType.DATA, payload=b"x")
+    )
+    net._gs_tunnel_receive(
+        TunnelMessage(flow_id=999_999, msg_type=TunnelMessageType.CLOSE)
+    )
+
+
+def test_connect_for_unknown_customer_ignored(net):
+    net._gs_tunnel_receive(
+        TunnelMessage(
+            flow_id=5, msg_type=TunnelMessageType.CONNECT,
+            src_ip=0x01020304, dst_ip=0x05060708, src_port=1, dst_port=443,
+        )
+    )
+    assert 5 not in net._gs_flows
+
+
+def test_two_customers_share_a_server(net):
+    server = _tls_server(net, response=2_000)
+    finished = []
+    for country in ("Spain", "UK"):
+        customer = net.add_customer(country)
+        app = TlsClientApp(
+            net.sim, "edge.example", expected_response_bytes=2_000,
+            on_finished=lambda a: finished.append(a),
+        )
+        socket = customer.open_tcp(server.ip, 443, on_data=app.on_data)
+        app.start(socket.send, socket.close)
+    net.sim.run(until=60.0)
+    assert len(finished) == 2
+
+
+def test_pep_decouples_congestion_domains(net):
+    """The client app sends at once; the CPE paces at the plan uplink
+    rate — the ClientHello reaches the GS no sooner than serialization
+    allows."""
+    server = _tls_server(net)
+    customer = net.add_customer("Congo", plan_name="sat-10")  # 2 Mb/s up
+    app = TlsClientApp(net.sim, "edge.example", expected_response_bytes=3_000)
+    socket = customer.open_tcp(server.ip, 443, on_data=app.on_data)
+    app.start(socket.send, socket.close)
+    net.sim.run(until=60.0)
+    assert app.result.complete
+    # one-way satellite ≥ ~250 ms: nothing finished before a round trip
+    assert app.result.got_server_hello_at > 0.5
+
+
+def test_customer_links_are_private(net):
+    a = net.add_customer("Spain")
+    b = net.add_customer("Spain")
+    assert a.uplink is not b.uplink
+    assert a.downlink is not b.downlink
+    assert a.uplink.rate_bps == a.plan.up_bps
+    assert a.downlink.rate_bps == a.plan.down_bps

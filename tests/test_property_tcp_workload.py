@@ -1,0 +1,76 @@
+"""Property-based tests: TCP byte-stream integrity and workload
+invariants under randomized inputs."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.tcp import TcpEndpoint
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=5000), min_size=1, max_size=12),
+    mss=st.integers(min_value=200, max_value=1460),
+    window=st.integers(min_value=1000, max_value=64 * 1024),
+)
+def test_tcp_stream_integrity(chunks, mss, window):
+    """Whatever the app writes, in whatever chunking, arrives intact,
+    in order, exactly once — for any MSS/window combination."""
+    sim = Simulator()
+    link_ab = Link(sim, prop_delay_s=0.005)
+    link_ba = Link(sim, prop_delay_s=0.005)
+    received = bytearray()
+    b = None
+
+    def deliver_to_b(pkt):
+        b.handle_packet(pkt)
+
+    a = TcpEndpoint(
+        sim, 1, 10, 2, 20,
+        send_packet=lambda p: link_ab.send(p, p.size_bytes, deliver_to_b),
+        mss=mss, window_bytes=window,
+    )
+    b = TcpEndpoint(
+        sim, 2, 20, 1, 10,
+        send_packet=lambda p: link_ba.send(p, p.size_bytes, a.handle_packet),
+        on_data=received.extend,
+        mss=mss, window_bytes=window,
+    )
+    b.listen()
+    a.connect()
+    sim.run()
+    for chunk in chunks:
+        a.send(chunk)
+    sim.run()
+    assert bytes(received) == b"".join(chunks)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_customers=st.integers(min_value=10, max_value=60),
+    days=st.integers(min_value=1, max_value=2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_workload_invariants(n_customers, days, seed):
+    """Structural invariants hold for any generator configuration."""
+    frame = WorkloadGenerator(
+        WorkloadConfig(n_customers=n_customers, days=days, seed=seed, flow_scale=0.3)
+    ).generate()
+    assert len(frame) > 0
+    assert np.all(frame.bytes_down > 0)
+    assert np.all(frame.duration_s > 0)
+    assert np.all((frame.hour_utc >= 0) & (frame.hour_utc < 24))
+    assert np.all((frame.day >= 0) & (frame.day < days))
+    assert frame.customer_id.max() <= n_customers
+    # sat RTT only on HTTPS, above the physical floor
+    has_sat = np.isfinite(frame.sat_rtt_ms)
+    if has_sat.any():
+        assert frame.sat_rtt_ms[has_sat].min() > 500.0
+    # DNS rows and only DNS rows carry resolvers
+    dns_rows = frame.resolver_idx >= 0
+    assert np.all(np.isfinite(frame.dns_response_ms[dns_rows]))
+    assert not np.isfinite(frame.dns_response_ms[~dns_rows]).any()

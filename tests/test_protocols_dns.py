@@ -1,0 +1,97 @@
+"""Tests for DNS wire-format encoding/decoding."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols import dns
+
+
+def test_query_round_trip():
+    message = dns.decode(dns.encode_query(1234, "www.example.com"))
+    assert message.txid == 1234
+    assert message.qname == "www.example.com"
+    assert not message.is_response
+    assert message.questions[0].qtype == dns.QTYPE_A
+
+
+def test_response_round_trip_multiple_answers():
+    addresses = [0x01010101, 0x02020202, 0x03030303]
+    message = dns.decode(dns.encode_response(7, "cdn.example.net", addresses, ttl=60))
+    assert message.is_response
+    assert [a.address for a in message.answers] == addresses
+    assert all(a.ttl == 60 for a in message.answers)
+    assert message.answers[0].name == "cdn.example.net"  # via compression pointer
+
+
+def test_nxdomain_rcode():
+    message = dns.decode(dns.encode_response(9, "missing.example", [], rcode=dns.RCODE_NXDOMAIN))
+    assert message.rcode == dns.RCODE_NXDOMAIN
+    assert message.answers == []
+
+
+def test_name_encoding_root_and_trailing_dot():
+    assert dns.encode_name("") == b"\x00"
+    assert dns.encode_name("example.com.") == dns.encode_name("example.com")
+
+
+def test_name_label_length_limit():
+    with pytest.raises(ValueError):
+        dns.encode_name("a" * 64 + ".com")
+
+
+def test_decode_name_compression_loop_detected():
+    # pointer to itself at offset 0
+    data = struct.pack("!H", 0xC000)
+    with pytest.raises(ValueError):
+        dns.decode_name(data, 0)
+
+
+def test_decode_truncated_header():
+    with pytest.raises(ValueError):
+        dns.decode(b"\x00\x01")
+
+
+def test_decode_truncated_question():
+    query = dns.encode_query(5, "example.com")
+    with pytest.raises(ValueError):
+        dns.decode(query[:-2])
+
+
+def test_looks_like_dns():
+    assert dns.looks_like_dns(dns.encode_query(1, "a.b"))
+    assert not dns.looks_like_dns(b"\x00" * 4)
+    # opcode != 0 → not a standard query
+    weird = bytearray(dns.encode_query(1, "a.b"))
+    weird[2] |= 0x78
+    assert not dns.looks_like_dns(bytes(weird))
+
+
+def test_txid_masked_to_16_bits():
+    message = dns.decode(dns.encode_query(0x12345, "x.y"))
+    assert message.txid == 0x2345
+
+
+@given(
+    st.lists(
+        st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"), min_size=1, max_size=20),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_query_round_trip_property(labels, txid):
+    name = ".".join(labels)
+    message = dns.decode(dns.encode_query(txid, name))
+    assert message.qname == name
+    assert message.txid == txid
+
+
+@given(st.binary(max_size=200))
+def test_decode_never_hangs_on_garbage(data):
+    try:
+        dns.decode(data)
+    except ValueError:
+        pass  # rejecting garbage is fine; crashing/hanging is not

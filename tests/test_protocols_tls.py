@@ -1,0 +1,107 @@
+"""Tests for TLS encoding/parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols import tls
+
+
+def test_client_hello_sni_round_trip():
+    data = tls.client_hello("www.example.com")
+    assert tls.extract_sni(data) == "www.example.com"
+
+
+def test_client_hello_with_session_id():
+    data = tls.client_hello("a.b.c", session_id=b"\x01" * 16)
+    assert tls.extract_sni(data) == "a.b.c"
+
+
+def test_client_hello_validates_inputs():
+    with pytest.raises(ValueError):
+        tls.client_hello("x", random=b"short")
+    with pytest.raises(ValueError):
+        tls.client_hello("x", session_id=b"\x00" * 40)
+
+
+def test_server_hello_flight_contains_three_messages():
+    parsed = tls.parse_stream(tls.server_hello())
+    assert parsed.handshake_types == [
+        tls.HandshakeType.SERVER_HELLO,
+        tls.HandshakeType.CERTIFICATE,
+        tls.HandshakeType.SERVER_HELLO_DONE,
+    ]
+
+
+def test_server_hello_certificate_size_controls_flight():
+    small = tls.server_hello(certificate_len=100)
+    large = tls.server_hello(certificate_len=4000)
+    assert len(large) - len(small) == 3900
+
+
+def test_client_key_exchange_flight():
+    parsed = tls.parse_stream(tls.client_key_exchange())
+    assert tls.HandshakeType.CLIENT_KEY_EXCHANGE in parsed.handshake_types
+    kinds = [r.content_type for r in parsed.records]
+    assert tls.ContentType.CHANGE_CIPHER_SPEC in kinds
+
+
+def test_application_data_chunks_at_record_limit():
+    data = tls.application_data(100_000)
+    records = tls.parse_records(data)
+    assert all(r.content_type == tls.ContentType.APPLICATION_DATA for r in records)
+    assert sum(r.length for r in records) == 100_000
+    assert max(r.length for r in records) <= 0x4000
+
+
+def test_application_data_zero_length():
+    assert tls.application_data(0) == b""
+    with pytest.raises(ValueError):
+        tls.application_data(-1)
+
+
+def test_parse_records_tolerates_trailing_partial():
+    full = tls.client_hello("host.example")
+    records = tls.parse_records(full + full[:7])
+    assert len(records) == 1
+
+
+def test_parse_stream_across_concatenated_flights():
+    stream = tls.client_hello("x.y") + tls.client_key_exchange()
+    parsed = tls.parse_stream(stream)
+    assert tls.HandshakeType.CLIENT_HELLO in parsed.handshake_types
+    assert tls.HandshakeType.CLIENT_KEY_EXCHANGE in parsed.handshake_types
+    assert parsed.sni == "x.y"
+
+
+def test_looks_like_tls():
+    assert tls.looks_like_tls(tls.client_hello("a.b"))
+    assert not tls.looks_like_tls(b"GET / HTTP/1.1\r\n")
+    assert not tls.looks_like_tls(b"\x16")  # too short
+
+
+def test_extract_sni_absent_on_non_hello():
+    assert tls.extract_sni(tls.server_hello()) is None
+
+
+def test_record_payload_size_limit():
+    with pytest.raises(ValueError):
+        tls.encode_record(tls.ContentType.APPLICATION_DATA, b"\x00" * 70_000)
+
+
+@given(st.binary(max_size=300))
+def test_parsers_never_crash_on_garbage(data):
+    tls.parse_records(data)
+    tls.parse_stream(data)
+    tls.extract_sni(data)
+
+
+@given(
+    st.text(
+        alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-."),
+        min_size=1,
+        max_size=60,
+    ).filter(lambda s: not s.startswith(".") and ".." not in s)
+)
+def test_sni_round_trip_property(hostname):
+    assert tls.extract_sni(tls.client_hello(hostname)) == hostname

@@ -1,0 +1,225 @@
+"""Report tests: Figures 8–11 and Table 2 (performance section)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import (
+    fig8_satellite_rtt,
+    fig9_ground_rtt,
+    fig10_dns,
+    fig11_throughput,
+    table2_resolver_rtt,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8a(small_frame):
+    return fig8_satellite_rtt.compute_fig8a(small_frame)
+
+
+@pytest.fixture(scope="module")
+def fig8b(small_frame):
+    return fig8_satellite_rtt.compute_fig8b(small_frame)
+
+
+@pytest.fixture(scope="module")
+def fig9(small_frame):
+    return fig9_ground_rtt.compute(small_frame)
+
+
+@pytest.fixture(scope="module")
+def fig10(small_frame):
+    return fig10_dns.compute(small_frame)
+
+
+@pytest.fixture(scope="module")
+def fig11(small_frame):
+    return fig11_throughput.compute(small_frame)
+
+
+# --- Figure 8 -----------------------------------------------------------------
+
+
+def test_fig8a_floor_above_550ms(fig8a):
+    for country in fig8a.samples:
+        assert fig8a.minimum_ms(country) > 520.0, country
+
+
+def test_fig8a_spain_best_at_night(fig8a):
+    fraction = fig8a.fraction_under("Spain", "night", 1000.0)
+    assert fraction == pytest.approx(0.82, abs=0.10)  # paper: 82 %
+    for country in ("Congo", "Ireland", "UK"):
+        assert fig8a.fraction_under(country, "night", 1000.0) <= fraction + 0.03
+
+
+def test_fig8a_congo_tail(fig8a):
+    assert fig8a.fraction_over("Congo", "night", 2000.0) > 0.08  # paper ~20 %
+    assert fig8a.fraction_over("Congo", "peak", 2000.0) > fig8a.fraction_over(
+        "Congo", "night", 2000.0
+    )
+
+
+def test_fig8a_congo_peak_worse_than_night(fig8a):
+    night = fig8a.quartiles_ms("Congo", "night")[1]
+    peak = fig8a.quartiles_ms("Congo", "peak")[1]
+    assert peak > night * 1.1
+
+
+def test_fig8a_ireland_load_independent(fig8a):
+    night = fig8a.fraction_over("Ireland", "night", 1500.0)
+    peak = fig8a.fraction_over("Ireland", "peak", 1500.0)
+    assert abs(night - peak) < 0.10
+    assert night > 0.03
+
+
+def test_fig8b_congested_beams_stand_out(fig8b):
+    medians = {beam: median for beam, _, median, _ in fig8b.rows}
+    congo = [m for b, c, m, _ in fig8b.rows if c == "Congo"]
+    spain = [m for b, c, m, _ in fig8b.rows if c == "Spain"]
+    assert min(congo) > max(spain)
+
+
+def test_fig8b_utilization_normalized(fig8b):
+    utils = [u for *_, u in fig8b.rows]
+    assert max(utils) == pytest.approx(1.0)
+    assert all(0 < u <= 1.0 for u in utils)
+
+
+# --- Figure 9 -----------------------------------------------------------------
+
+
+def test_fig9_africa_higher_than_europe(fig9):
+    africa = np.mean([fig9.median_ms(c) for c in ("Congo", "Nigeria", "South Africa")])
+    europe = np.mean([fig9.median_ms(c) for c in ("Spain", "UK", "Ireland")])
+    assert africa > europe
+
+
+def test_fig9_europe_mostly_under_40ms(fig9):
+    for country in ("Spain", "UK", "Ireland"):
+        assert fig9.fraction_below(country, 40.0) > 0.8, country
+
+
+def test_fig9_african_right_tail(fig9):
+    """The 300–400 ms bumps: local services reached back through Italy."""
+    assert fig9.fraction_above("Congo", 250.0) > 0.01
+    assert fig9.fraction_above("Congo", 250.0) > fig9.fraction_above("Spain", 250.0)
+
+
+def test_fig9_peered_cdn_bump(fig9):
+    """A visible mass of European traffic near 12 ms."""
+    assert fig9.fraction_below("UK", 15.0) > 0.2
+
+
+# --- Figure 10 -----------------------------------------------------------------
+
+
+def test_fig10_shares_sum_to_100(fig10):
+    totals = {}
+    for resolver, shares in fig10.shares_pct.items():
+        for country, share in shares.items():
+            totals[country] = totals.get(country, 0.0) + share
+    for country, total in totals.items():
+        assert total == pytest.approx(100.0, abs=0.5), country
+
+
+def test_fig10_adoption_patterns(fig10):
+    assert fig10.share("Google", "Congo") > 70  # paper: 85.68 %
+    assert fig10.share("Operator-EU", "Ireland") > fig10.share("Operator-EU", "Congo")
+    assert fig10.share("Nigerian", "Nigeria") > 5
+    assert fig10.share("Nigerian", "Spain") < 3
+
+
+def test_fig10_median_response_times(fig10):
+    paper = fig10_dns.PAPER_MEDIAN_MS
+    for resolver, target in paper.items():
+        measured = fig10.median_response_ms[resolver]
+        assert measured == pytest.approx(target, rel=0.25), resolver
+    # the operator resolver is the fastest
+    assert min(fig10.median_response_ms, key=fig10.median_response_ms.get) == "Operator-EU"
+
+
+# --- Table 2 -------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def table2(small_frame):
+    return table2_resolver_rtt.compute(small_frame, min_samples=3)
+
+
+def test_table2_resolver_changes_rtt_for_nigeria(table2):
+    """Chinese/Nigerian resolvers inflate RTTs for African customers;
+    European resolvers keep the traffic in Europe (Table 2). Exact
+    cells depend on which (customer, resolver) pairs the small fixture
+    sampled, so we assert over the available groups."""
+    eu_cells = [
+        table2.rtt("Nigeria", resolver, domain)
+        for resolver in ("Operator-EU", "CloudFlare", "Open DNS")
+        for domain in ("captive.apple.com", "play.googleapis.com", "googlevideo.com")
+    ]
+    eu_cells = [v for v in eu_cells if v is not None]
+    assert eu_cells and min(eu_cells) < 40
+
+    distant_cells = [
+        table2.rtt("Nigeria", resolver, domain)
+        for resolver in ("114DNS", "Baidu", "Nigerian")
+        for domain in ("captive.apple.com", "play.googleapis.com", "googlevideo.com",
+                       "whatsapp.net")
+    ]
+    distant_cells = [v for v in distant_cells if v is not None]
+    assert distant_cells and max(distant_cells) > 80
+
+
+def test_table2_uk_resolver_insensitive(table2):
+    """For European customers the resolver barely matters."""
+    values = [
+        table2.rtt("UK", resolver, "captive.apple.com")
+        for resolver in ("Operator-EU", "Google", "CloudFlare")
+    ]
+    values = [v for v in values if v is not None]
+    assert values and max(values) - min(values) < 25
+
+
+def test_table2_anycast_immune(table2):
+    """nflxvideo.net is anycast-served: low RTT regardless of resolver."""
+    for resolver in ("Operator-EU", "Google", "Nigerian", "114DNS"):
+        value = table2.rtt("Nigeria", resolver, "*.nflxvideo.net")
+        if value is not None:
+            assert value < 40, resolver
+
+
+def test_table2_render(table2):
+    assert "Table 2" in table2_resolver_rtt.render(table2)
+
+
+# --- Figure 11 ------------------------------------------------------------------
+
+
+def test_fig11_europe_faster_than_africa(fig11):
+    europe = np.mean([fig11.median_mbps(c) for c in ("Spain", "UK")])
+    africa = np.mean([fig11.median_mbps(c) for c in ("Congo", "Nigeria")])
+    assert europe > 1.8 * africa
+
+
+def test_fig11_europe_can_saturate_plans(fig11):
+    """European customers reach their 30–100 Mb/s plans (knees)."""
+    assert fig11.fraction_above("Spain", 25.0) > 0.2
+    assert fig11.fraction_above("Congo", 25.0) < 0.05  # African plans cap at 30
+
+
+def test_fig11_peak_degradation_africa(fig11):
+    assert fig11.peak_degradation("Congo") > 0.0
+    # degradation stronger in Congo than in the UK (Section 6.5)
+    assert fig11.peak_degradation("Congo") >= fig11.peak_degradation("UK") - 0.05
+
+
+def test_fig11_bulk_samples_only(small_frame, fig11):
+    for country, samples in fig11.samples_mbps.items():
+        assert len(samples) > 50, country
+        assert np.all(samples > 0)
+
+
+def test_fig8_fig11_renders(small_frame, fig8a, fig8b, fig11, fig9, fig10):
+    assert "Figure 8a" in fig8_satellite_rtt.render(fig8a, fig8b)
+    assert "Figure 9" in fig9_ground_rtt.render(fig9)
+    assert "Figure 10" in fig10_dns.render(fig10)
+    assert "Figure 11" in fig11_throughput.render(fig11)

@@ -1,0 +1,69 @@
+"""Tests for GEO orbital geometry."""
+
+import math
+
+import pytest
+
+from repro.constants import GEO_ALTITUDE_M, SPEED_OF_LIGHT_M_S
+from repro.internet.geo import COUNTRIES, GROUND_STATION, Location
+from repro.satcom.geometry import SatelliteGeometry
+
+GEO = SatelliteGeometry()
+
+
+def test_subsatellite_point_is_zenith():
+    sub = Location("sub", 0.0, GEO.satellite_longitude_deg)
+    assert GEO.elevation_angle_deg(sub) == pytest.approx(90.0)
+    assert GEO.slant_range_m(sub) == pytest.approx(GEO_ALTITUDE_M)
+
+
+def test_slant_range_increases_away_from_subsatellite_point():
+    near = Location("near", 5.0, GEO.satellite_longitude_deg)
+    far = Location("far", 50.0, GEO.satellite_longitude_deg)
+    assert GEO.slant_range_m(near) < GEO.slant_range_m(far)
+
+
+def test_elevation_ordering_matches_paper():
+    """Ireland sits at the coverage edge (lowest elevation); Nigeria and
+    Congo are near zenith (Section 6.1)."""
+    elev = {c: GEO.elevation_angle_deg(COUNTRIES[c]) for c in
+            ("Congo", "Nigeria", "South Africa", "Ireland", "Spain", "UK")}
+    assert elev["Ireland"] < elev["UK"] < elev["Spain"] < elev["South Africa"]
+    assert elev["Nigeria"] > 70
+    assert elev["Congo"] > 70
+    assert elev["Ireland"] < 30
+
+
+def test_propagation_rtt_in_published_range():
+    """Two passes through the satellite: 480–530 ms of pure propagation
+    (the paper quotes 240–280 ms one way)."""
+    for country, location in COUNTRIES.items():
+        rtt = GEO.propagation_rtt_s(location)
+        assert 0.46 < rtt < 0.54, country
+        one_way = GEO.one_way_path_delay_s(location)
+        assert 0.24 <= one_way <= 0.28, country
+
+
+def test_propagation_rtt_is_twice_one_way():
+    loc = COUNTRIES["Spain"]
+    assert GEO.propagation_rtt_s(loc) == pytest.approx(2 * GEO.one_way_path_delay_s(loc))
+
+
+def test_one_way_hop_consistent_with_slant_range():
+    loc = COUNTRIES["UK"]
+    assert GEO.one_way_hop_delay_s(loc) == pytest.approx(
+        GEO.slant_range_m(loc) / SPEED_OF_LIGHT_M_S
+    )
+
+
+def test_coverage_check():
+    assert GEO.is_covered(COUNTRIES["Ireland"])
+    antipode = Location("antipode", 0.0, GEO.satellite_longitude_deg + 180.0)
+    assert not GEO.is_covered(antipode)
+
+
+def test_ground_station_hop_included_in_path():
+    loc = COUNTRIES["Congo"]
+    assert GEO.one_way_path_delay_s(loc) == pytest.approx(
+        GEO.one_way_hop_delay_s(loc) + GEO.one_way_hop_delay_s(GROUND_STATION)
+    )

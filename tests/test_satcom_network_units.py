@@ -1,0 +1,148 @@
+"""Unit tests for the packet-level network internals (PEP buffering,
+NAT, UDP services, per-customer links)."""
+
+import numpy as np
+import pytest
+
+from repro.internet.resolvers import RESOLVERS
+from repro.internet.topology import InternetModel
+from repro.net.packet import IPProtocol, Packet
+from repro.satcom.apps import TlsClientApp, TlsServerApp
+from repro.satcom.network import (
+    SatComPacketNetwork,
+    quic_server_handler,
+    rtp_echo_handler,
+)
+from repro.simnet.engine import Simulator
+
+
+@pytest.fixture()
+def network():
+    sim = Simulator()
+    return SatComPacketNetwork(
+        sim, InternetModel(), rng=np.random.default_rng(0), hour_utc=12.0
+    )
+
+
+def test_customers_get_per_country_pools(network):
+    spain1 = network.add_customer("Spain")
+    spain2 = network.add_customer("Spain")
+    congo = network.add_customer("Congo")
+    assert spain1.public_ip >> 16 == spain2.public_ip >> 16
+    assert spain1.public_ip != spain2.public_ip
+    assert congo.public_ip >> 16 != spain1.public_ip >> 16
+
+
+def test_customers_round_robin_over_beams(network):
+    beams = {network.add_customer("Nigeria").beam.beam_id for _ in range(4)}
+    assert len(beams) == 4  # Nigeria has four beams
+
+
+def test_default_plans_by_continent(network):
+    assert network.add_customer("Spain").plan.name == "sat-50"
+    assert network.add_customer("Congo").plan.name == "sat-30"
+
+
+def test_server_ip_matches_internet_model(network):
+    server = network.add_server(
+        "x.example", "Milan-IX", app_factory=lambda ep: TlsServerApp(ep.send, ep.close)
+    )
+    assert network.internet.site_of_ip(server.ip) == "Milan-IX"
+
+
+def test_pep_buffers_data_sent_before_connect_completes(network):
+    """The CPE accepts client bytes instantly; the GS proxy must buffer
+    them until its server-side connection establishes."""
+    sim = network.sim
+    server = network.add_server(
+        "buffered.example",
+        "US-West",  # far away: connect takes a while
+        app_factory=lambda ep: TlsServerApp(ep.send, ep.close, response_bytes=5_000),
+    )
+    customer = network.add_customer("Spain")
+    app = TlsClientApp(sim, "buffered.example", expected_response_bytes=5_000)
+    socket = customer.open_tcp(server.ip, 443, on_data=app.on_data)
+    app.start(socket.send, socket.close)  # ClientHello sent immediately
+    sim.run(until=60.0)
+    assert app.result.complete
+
+
+def test_udp_nat_round_trip(network):
+    """A datagram out and its reply back through the GS NAT."""
+    sim = network.sim
+    echoes = []
+    host = network.add_udp_server("echo.example", "Milan-IX", rtp_echo_handler())
+    customer = network.add_customer("UK")
+    from repro.protocols import rtp
+
+    customer.send_udp(
+        host.ip, 40000, rtp.encode(7, 0, 1, b"ping"),
+        on_reply=lambda payload, now: echoes.append((payload, now)),
+    )
+    sim.run(until=10.0)
+    assert len(echoes) == 1
+    assert rtp.decode(echoes[0][0]).sequence == 7
+    # the reply took a full satellite round trip
+    assert echoes[0][1] > 0.5
+
+
+def test_quic_handler_ignores_non_initial(network):
+    sent = []
+    handler = quic_server_handler(response_bytes=2_000)
+    from repro.protocols import quic
+
+    packet = Packet(
+        src_ip=1, dst_ip=2, src_port=1000, dst_port=443,
+        protocol=IPProtocol.UDP, payload=quic.encode_short_header_packet(100),
+    )
+    handler(packet, sent.append)
+    assert sent == []
+
+    initial = Packet(
+        src_ip=1, dst_ip=2, src_port=1000, dst_port=443,
+        protocol=IPProtocol.UDP, payload=quic.encode_initial("a.b"),
+    )
+    handler(initial, sent.append)
+    assert len(sent) >= 2  # handshake + data packets
+    total = sum(len(p) for p in sent[1:])
+    assert total >= 2_000
+
+
+def test_open_udp_keeps_one_source_port(network):
+    customer = network.add_customer("Spain")
+    before = customer._next_port
+    sender = customer.open_udp(0x01020304, 9999)
+    sender(b"one")
+    sender(b"two")
+    assert customer._next_port == before + 1  # single allocation
+
+
+def test_meter_optional(network):
+    """Networks can run without a probe attached."""
+    assert network.meter is None
+    customer = network.add_customer("Spain")
+    server = network.add_server(
+        "nometer.example", "Milan-IX",
+        app_factory=lambda ep: TlsServerApp(ep.send, ep.close, response_bytes=2_000),
+    )
+    app = TlsClientApp(network.sim, "nometer.example", expected_response_bytes=2_000)
+    socket = customer.open_tcp(server.ip, 443, on_data=app.on_data)
+    app.start(socket.send, socket.close)
+    network.sim.run(until=30.0)
+    assert app.result.complete
+
+
+def test_resolver_host_counts_queries(network):
+    from repro.protocols import dns
+
+    resolver = RESOLVERS["Google"]
+    host = network.add_resolver(resolver, answer_fn=lambda q: 0x08080404)
+    customer = network.add_customer("Spain")
+    replies = []
+    customer.send_udp(
+        resolver.address, 53, dns.encode_query(5, "q.example"),
+        on_reply=lambda p, t: replies.append(dns.decode(p)),
+    )
+    network.sim.run(until=10.0)
+    assert host.queries_served == 1
+    assert replies[0].answers[0].address == 0x08080404

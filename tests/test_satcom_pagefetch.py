@@ -1,0 +1,75 @@
+"""Tests for the analytic PEP fetch model."""
+
+import pytest
+
+from repro.satcom.pagefetch import (
+    FetchParameters,
+    fetch_time_with_pep,
+    fetch_time_without_pep,
+    pep_speedup,
+    slow_start_rounds,
+)
+
+
+def _params(**kwargs):
+    defaults = dict(
+        size_bytes=500_000,
+        satellite_rtt_s=0.55,
+        ground_rtt_s=0.02,
+        rate_bps=20e6,
+    )
+    defaults.update(kwargs)
+    return FetchParameters(**defaults)
+
+
+def test_parameters_validated():
+    with pytest.raises(ValueError):
+        _params(rate_bps=0)
+    with pytest.raises(ValueError):
+        _params(size_bytes=-1)
+    with pytest.raises(ValueError):
+        _params(satellite_rtt_s=-0.1)
+
+
+def test_slow_start_rounds_zero_for_empty_transfer():
+    assert slow_start_rounds(0, 10e6, 0.55) == 0
+
+
+def test_slow_start_rounds_grow_with_bdp():
+    low_bdp = slow_start_rounds(10_000_000, 10e6, 0.02)
+    high_bdp = slow_start_rounds(10_000_000, 10e6, 0.55)
+    assert high_bdp > low_bdp
+
+
+def test_slow_start_stops_when_transfer_smaller_than_window():
+    assert slow_start_rounds(5_000, 100e6, 0.55) <= 1
+
+
+def test_pep_always_helps_on_satellite():
+    """The whole point of RFC 3135 on GEO links."""
+    assert pep_speedup(_params()) > 1.5
+
+
+def test_pep_gain_grows_with_rtt():
+    sat = pep_speedup(_params(satellite_rtt_s=0.55))
+    terrestrial = pep_speedup(_params(satellite_rtt_s=0.01))
+    assert sat > terrestrial
+
+
+def test_without_pep_dominated_by_round_trips():
+    params = _params(size_bytes=200_000)
+    rtt = params.satellite_rtt_s + params.ground_rtt_s
+    without = fetch_time_without_pep(params)
+    assert without >= 3 * rtt  # handshake + 2×TLS at least
+
+
+def test_with_pep_tls_still_pays_one_satellite_rtt():
+    """TLS is end-to-end; the PEP cannot remove that round trip."""
+    with_tls = fetch_time_with_pep(_params(tls=True))
+    without_tls = fetch_time_with_pep(_params(tls=False))
+    assert with_tls - without_tls == pytest.approx(0.57, abs=0.01)
+
+
+def test_transfer_term_matches_rate():
+    params = _params(size_bytes=10_000_000, rate_bps=10e6)
+    assert fetch_time_with_pep(params) >= 8.0  # ≥ serialized transfer time

@@ -1,0 +1,65 @@
+"""Tests for the rain-fade extension."""
+
+import numpy as np
+import pytest
+
+from repro.satcom.channel import ChannelModel, RainFadeProcess
+
+
+def test_weather_factor_scales_error_probability():
+    channel = ChannelModel()
+    clear = channel.frame_error_probability(40.0)
+    fade = channel.frame_error_probability(40.0, weather_factor=5.0)
+    assert fade == pytest.approx(min(0.95, clear * 5.0))
+
+
+def test_weather_factor_validated():
+    channel = ChannelModel()
+    with pytest.raises(ValueError):
+        channel.frame_error_probability(40.0, weather_factor=0.5)
+
+
+def test_error_probability_capped_under_heavy_fade():
+    channel = ChannelModel()
+    assert channel.frame_error_probability(25.0, weather_factor=1000.0) == 0.95
+
+
+def test_arq_delay_worse_in_fade(rng):
+    channel = ChannelModel()
+    clear = channel.sample_arq_delay_s(40.0, rng, 4000).mean()
+    fade = channel.sample_arq_delay_s(40.0, rng, 4000, weather_factor=8.0).mean()
+    assert fade > 2 * clear
+
+
+def test_rainfade_stationary_fraction(rng):
+    process = RainFadeProcess(fade_probability=0.10)
+    factors = process.sample_weather_factor(rng, 20_000)
+    assert (factors > 1.0).mean() == pytest.approx(0.10, abs=0.01)
+    assert np.all(factors >= 1.0)
+
+
+def test_rainfade_clear_sky_process(rng):
+    process = RainFadeProcess(fade_probability=0.0)
+    factors = process.sample_weather_factor(rng, 100)
+    assert np.all(factors == 1.0)
+    assert process.mean_clear_duration_s == np.inf
+
+
+def test_rainfade_episode_sampling(rng):
+    process = RainFadeProcess()
+    episode = process.sample_episode(rng)
+    assert episode.duration_s > 0
+    assert episode.weather_factor > 1.0
+
+
+def test_rainfade_sojourn_balance():
+    process = RainFadeProcess(fade_probability=0.25, mean_fade_duration_s=600.0)
+    clear = process.mean_clear_duration_s
+    assert 600.0 / (600.0 + clear) == pytest.approx(0.25)
+
+
+def test_rainfade_validation():
+    with pytest.raises(ValueError):
+        RainFadeProcess(fade_probability=1.0)
+    with pytest.raises(ValueError):
+        RainFadeProcess(mean_fade_duration_s=0.0)

@@ -1,0 +1,35 @@
+"""Seed robustness: the reproduction's headline shapes must not depend
+on one lucky RNG draw."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import fig8_satellite_rtt, table1_protocols
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_headline_shapes_across_seeds(seed):
+    frame = WorkloadGenerator(
+        WorkloadConfig(n_customers=250, days=2, seed=seed)
+    ).generate()
+
+    table1 = table1_protocols.compute(frame)
+    assert table1.share("tcp/https") > table1.share("udp/quic")
+    assert table1.share("udp/dns") < 0.1
+
+    fig8 = fig8_satellite_rtt.compute_fig8a(frame)
+    # the floor and the Congo/Spain contrast hold for every seed
+    assert fig8.minimum_ms("Spain") > 520.0
+    assert fig8.fraction_under("Spain", "night", 1000.0) > 0.65
+    assert fig8.fraction_over("Congo", "peak", 2000.0) > fig8.fraction_over(
+        "Spain", "peak", 2000.0
+    )
+
+
+def test_split_by_day(small_frame):
+    parts = small_frame.split_by_day()
+    assert set(parts) == set(np.unique(small_frame.day))
+    assert sum(len(p) for p in parts.values()) == len(small_frame)
+    for day, part in parts.items():
+        assert np.all(part.day == day)

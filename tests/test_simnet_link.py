@@ -1,0 +1,121 @@
+"""Unit tests for the link model."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+
+
+def _sink(collector):
+    def deliver(payload):
+        collector.append(payload)
+
+    return deliver
+
+
+def test_propagation_delay_only():
+    sim = Simulator()
+    link = Link(sim, rate_bps=None, prop_delay_s=0.25)
+    out = []
+    link.send("pkt", 1000, _sink(out))
+    sim.run()
+    assert out == ["pkt"]
+    assert sim.now == pytest.approx(0.25)
+
+
+def test_serialization_delay():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0, prop_delay_s=0.0)  # 1000 bytes/s
+    out = []
+    link.send("pkt", 500, _sink(out))
+    sim.run()
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_queueing_packets_serialize_back_to_back():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0)
+    arrivals = []
+    for i in range(3):
+        link.send(i, 1000, lambda p: arrivals.append((p, sim.now)))
+    sim.run()
+    assert [t for _, t in arrivals] == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_drop_when_queue_full():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0, queue_bytes=1500)
+    out = []
+    assert link.send("a", 1000, _sink(out)) is True
+    assert link.send("b", 1000, _sink(out)) is False  # 2000 > 1500
+    sim.run()
+    assert out == ["a"]
+    assert link.stats.packets_dropped == 1
+    assert link.stats.bytes_dropped == 1000
+
+
+def test_preserve_order_with_random_extra_delay():
+    sim = Simulator()
+    delays = iter([0.5, 0.0])  # second packet would overtake
+    link = Link(sim, prop_delay_s=0.0, extra_delay_fn=lambda _s: next(delays))
+    arrivals = []
+    link.send("first", 100, lambda p: arrivals.append(p))
+    link.send("second", 100, lambda p: arrivals.append(p))
+    sim.run()
+    assert arrivals == ["first", "second"]
+
+
+def test_overtaking_allowed_when_order_not_preserved():
+    sim = Simulator()
+    delays = iter([0.5, 0.0])
+    link = Link(
+        sim, prop_delay_s=0.0, extra_delay_fn=lambda _s: next(delays), preserve_order=False
+    )
+    arrivals = []
+    link.send("first", 100, lambda p: arrivals.append(p))
+    link.send("second", 100, lambda p: arrivals.append(p))
+    sim.run()
+    assert arrivals == ["second", "first"]
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0)
+    out = []
+    link.send("a", 1000, _sink(out))
+    link.send("b", 1000, _sink(out))
+    sim.run()
+    assert link.stats.packets_sent == 2
+    assert link.stats.bytes_sent == 2000
+    assert link.stats.busy_time_s == pytest.approx(2.0)
+    # second packet waited one serialization time
+    assert link.stats.mean_queue_delay_s() == pytest.approx(0.5)
+
+
+def test_utilization():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0)
+    link.send("a", 1000, lambda p: None)
+    sim.run()
+    assert link.utilization(2.0) == pytest.approx(0.5)
+    assert link.utilization(0.0) == 0.0
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, prop_delay_s=-1.0)
+    link = Link(sim)
+    with pytest.raises(ValueError):
+        link.send("x", -5, lambda p: None)
+
+
+def test_backlog_tracks_in_flight_bytes():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0)
+    link.send("a", 1000, lambda p: None)
+    assert link.backlog_bytes == 1000
+    sim.run()
+    assert link.backlog_bytes == 0

@@ -1,0 +1,73 @@
+"""Tests for the emergent-congestion feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import fig8_satellite_rtt
+from repro.traffic.congestion import EmergentCongestion
+
+
+@pytest.fixture(scope="module")
+def emergent(small_frame, small_generator):
+    return EmergentCongestion.from_frame(small_frame, small_generator.beam_map)
+
+
+def test_utilization_bounds(emergent):
+    assert emergent.utilization.shape == (len(emergent.beam_ids), 24)
+    assert emergent.utilization.min() >= 0.0
+    assert emergent.utilization.max() <= 0.99
+    assert emergent.utilization.max() == pytest.approx(0.95, abs=0.04)
+    assert emergent.pep_load.max() < 1.0
+
+
+def test_congo_beams_emerge_as_busiest(emergent):
+    """The community-AP population makes Congo's beams the hot ones —
+    without anyone configuring it."""
+    busiest = list(emergent.busiest_beams(top=4))
+    assert any(b.startswith("congo") for b in busiest[:3]), busiest
+
+
+def test_diurnal_shape_emerges(emergent):
+    """African beams stay loaded through the morning; European beams
+    peak in the evening."""
+    congo_idx = emergent.beam_ids.index("congo-0")
+    spain_idx = emergent.beam_ids.index("spain-0")
+    congo = emergent.utilization[congo_idx]
+    spain = emergent.utilization[spain_idx]
+    assert congo[9:12].mean() > 0.6 * congo.max()   # busy morning
+    assert spain[9:12].mean() < 0.8 * spain.max()   # quieter morning
+    assert spain[18:21].mean() > 0.7 * spain.max()  # evening prime time
+
+
+def test_restamp_preserves_structure(small_frame, small_generator, emergent, rng):
+    restamped = emergent.restamp(small_frame, small_generator.rtt_model, rng)
+    assert len(restamped) == len(small_frame)
+    # non-HTTPS rows untouched
+    nan_before = np.isnan(small_frame.sat_rtt_ms)
+    nan_after = np.isnan(restamped.sat_rtt_ms)
+    assert np.array_equal(nan_before, nan_after)
+    # the physical floor survives
+    sat = restamped.sat_rtt_ms[~nan_after]
+    assert sat.min() > 500.0
+    # other columns shared values
+    assert np.array_equal(restamped.bytes_down, small_frame.bytes_down)
+
+
+def test_restamped_frame_keeps_fig8_shape(small_frame, small_generator, emergent, rng):
+    """Figure 8a's qualitative story must survive the feedback loop:
+    Congo's emergent congestion keeps its heavy tail."""
+    restamped = emergent.restamp(small_frame, small_generator.rtt_model, rng)
+    result = fig8_satellite_rtt.compute_fig8a(restamped)
+    assert result.fraction_over("Congo", "peak", 2000.0) > 0.05
+    assert result.fraction_under("Spain", "night", 1000.0) > 0.6
+    congo_peak = result.quartiles_ms("Congo", "peak")[1]
+    spain_peak = result.quartiles_ms("Spain", "peak")[1]
+    assert congo_peak > spain_peak
+
+
+def test_lookups_vectorized(emergent):
+    beams = np.array([0, 1, 0])
+    hours = np.array([3.2, 19.9, 25.0])  # 25 wraps to 1
+    util = emergent.utilization_of(beams, hours)
+    assert util.shape == (3,)
+    assert util[2] == emergent.utilization[0, 1]

@@ -1,0 +1,104 @@
+"""Tests for population synthesis."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.internet.geo import COUNTRIES
+from repro.internet.resolvers import RESOLVERS, ResolverCatalog
+from repro.satcom.plans import PLAN_MIX_BY_CONTINENT, PLANS
+from repro.traffic.profiles import country_profile
+from repro.traffic.subscribers import SubscriberType, synthesize_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return synthesize_population(2000, np.random.default_rng(7))
+
+
+def test_population_size(population):
+    assert len(population) == 2000
+    ids = [s.customer_id for s in population.subscribers]
+    assert len(set(ids)) == len(ids)
+
+
+def test_country_shares_follow_figure2(population):
+    counts = collections.Counter(s.country for s in population.subscribers)
+    assert counts["Congo"] / len(population) == pytest.approx(0.20, abs=0.04)
+    assert counts["Spain"] / len(population) == pytest.approx(0.16, abs=0.04)
+
+
+def test_type_mix_by_continent(population):
+    by_country = population.by_country()
+    congo_types = collections.Counter(s.subscriber_type for s in by_country["Congo"])
+    spain_types = collections.Counter(s.subscriber_type for s in by_country["Spain"])
+    assert congo_types[SubscriberType.COMMUNITY] / len(by_country["Congo"]) > 0.3
+    assert spain_types[SubscriberType.IDLE] / len(by_country["Spain"]) > 0.4
+    assert spain_types[SubscriberType.COMMUNITY] / len(by_country["Spain"]) < 0.05
+
+
+def test_plans_match_continent(population):
+    for sub in population.subscribers:
+        continent = COUNTRIES[sub.country].continent
+        assert sub.plan_name in PLAN_MIX_BY_CONTINENT[continent]
+        assert sub.plan_down_mbps == PLANS[sub.plan_name].down_mbps
+
+
+def test_resolver_names_valid(population):
+    for sub in population.subscribers:
+        assert sub.resolver_name in RESOLVERS
+
+
+def test_beam_fields_consistent(population):
+    for sub in population.subscribers:
+        assert sub.beam_id.startswith(sub.country.lower().replace(" ", "-"))
+        assert 0 <= sub.beam_peak_utilization < 1
+        assert 0 <= sub.beam_pep_load < 1
+
+
+def test_multipliers_by_type(population):
+    for sub in population.subscribers:
+        if sub.subscriber_type == SubscriberType.IDLE:
+            assert sub.volume_multiplier < 0.1
+        elif sub.subscriber_type == SubscriberType.COMMUNITY:
+            assert sub.volume_multiplier > 0.5
+            assert sub.flow_multiplier == pytest.approx(1.2 * sub.volume_multiplier)
+
+
+def test_daily_usage_calibrated_to_fig6(population):
+    """Population-level expected daily usage ≈ the published rate."""
+    for service, country, target in (
+        ("Whatsapp", "Congo", 61.22),
+        ("Netflix", "Ireland", 50.91),
+        ("Spotify", "Spain", 45.20),
+    ):
+        subs = [s for s in population.subscribers if s.country == country]
+        expected = np.mean([s.daily_use_prob.get(service, 0.0) for s in subs]) * 100
+        assert expected == pytest.approx(target, abs=12), (service, country)
+
+
+def test_restricted_countries():
+    pop = synthesize_population(
+        100, np.random.default_rng(1), countries=["Spain", "Congo"]
+    )
+    assert {s.country for s in pop.subscribers} == {"Spain", "Congo"}
+
+
+def test_forced_resolver_catalog():
+    pop = synthesize_population(
+        50,
+        np.random.default_rng(1),
+        resolver_catalog=ResolverCatalog.forced("Operator-EU"),
+    )
+    assert {s.resolver_name for s in pop.subscribers} == {"Operator-EU"}
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        synthesize_population(0, np.random.default_rng(1))
+
+
+def test_count_by_type_totals(population):
+    counts = population.count_by_type()
+    assert sum(counts.values()) == len(population)

@@ -1,0 +1,127 @@
+"""Tests for the vectorized workload generator (uses session fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.flowmeter.records import L7Protocol, L7_ORDER
+from repro.traffic.services import SERVICES
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+HTTPS = L7_ORDER.index(L7Protocol.HTTPS)
+DNS = L7_ORDER.index(L7Protocol.DNS)
+
+
+def test_columns_consistent(small_frame):
+    n = len(small_frame)
+    assert n > 100_000
+    assert len(small_frame.bytes_down) == n
+    assert len(small_frame.sat_rtt_ms) == n
+
+
+def test_days_and_hours_in_range(small_frame):
+    assert small_frame.day.min() >= 0
+    assert small_frame.day.max() <= 2
+    assert small_frame.hour_utc.min() >= 0.0
+    assert small_frame.hour_utc.max() < 24.0
+
+
+def test_ts_consistent_with_day_and_hour(small_frame):
+    reconstructed = small_frame.day * 86400 + small_frame.hour_utc.astype(np.float64) * 3600
+    assert np.allclose(reconstructed, small_frame.ts_start, atol=1.0)
+
+
+def test_volumes_positive(small_frame):
+    assert np.all(small_frame.bytes_down > 0)
+    assert np.all(small_frame.bytes_up >= 0)
+    assert np.all(small_frame.duration_s > 0)
+
+
+def test_sat_rtt_only_on_https(small_frame):
+    """The TLS-handshake estimator only works on flows completing the
+    TLS negotiation (Section 2.2)."""
+    has_sat = np.isfinite(small_frame.sat_rtt_ms)
+    assert np.all(small_frame.l7_idx[has_sat] == HTTPS)
+    https = small_frame.l7_idx == HTTPS
+    assert has_sat[https].mean() > 0.95
+
+
+def test_sat_rtt_floor(small_frame):
+    sat = small_frame.sat_rtt_ms[np.isfinite(small_frame.sat_rtt_ms)]
+    assert sat.min() > 520.0
+    assert np.median(sat) > 550.0
+
+
+def test_ground_rtt_ranges(small_frame):
+    ground = small_frame.ground_rtt_ms[np.isfinite(small_frame.ground_rtt_ms)]
+    assert ground.min() > 1.0
+    assert ground.max() < 1500.0
+
+
+def test_dns_rows_have_resolver_and_response(small_frame):
+    dns_mask = small_frame.l7_idx == DNS
+    assert dns_mask.sum() > 1000
+    assert np.all(small_frame.resolver_idx[dns_mask] >= 0)
+    assert np.all(np.isfinite(small_frame.dns_response_ms[dns_mask]))
+    # non-DNS rows carry no resolver
+    assert np.all(small_frame.resolver_idx[~dns_mask] == -1)
+
+
+def test_every_service_generates_flows(small_frame):
+    present = set(small_frame.service_true_idx[small_frame.service_true_idx >= 0])
+    names = {small_frame.services[i] for i in present}
+    # popular services must be present; tiny ones may miss a small run
+    for name in ("Google", "Whatsapp", "Youtube", "Netflix", "GenericWeb"):
+        assert name in names
+
+
+def test_domains_resolve_in_pool(small_frame):
+    has_domain = small_frame.domain_idx >= 0
+    assert has_domain.mean() > 0.9  # only DNS rows lack domains
+    assert small_frame.domain_idx.max() < len(small_frame.domains)
+
+
+def test_plan_rates_valid(small_frame):
+    plans = set(np.unique(small_frame.plan_down_mbps))
+    assert plans <= {10.0, 20.0, 30.0, 50.0, 100.0}
+
+
+def test_throughput_bounded_by_plan(small_frame):
+    """Measured gross throughput can exceed the shaped rate only via the
+    handshake-time accounting, never wildly."""
+    rate = small_frame.download_throughput_bps() / 1e6
+    bulk = small_frame.bytes_down >= 10e6
+    valid = bulk & np.isfinite(rate)
+    assert np.all(rate[valid] <= small_frame.plan_down_mbps[valid] * 1.05)
+
+
+def test_generation_deterministic():
+    config = WorkloadConfig(n_customers=40, days=1, seed=99)
+    a = WorkloadGenerator(config).generate()
+    b = WorkloadGenerator(config).generate()
+    assert len(a) == len(b)
+    assert np.array_equal(a.bytes_down, b.bytes_down)
+    assert np.array_equal(a.sat_rtt_ms[np.isfinite(a.sat_rtt_ms)],
+                          b.sat_rtt_ms[np.isfinite(b.sat_rtt_ms)])
+
+
+def test_flow_scale_config():
+    base = WorkloadGenerator(WorkloadConfig(n_customers=40, days=1, seed=5)).generate()
+    scaled = WorkloadGenerator(
+        WorkloadConfig(n_customers=40, days=1, seed=5, flow_scale=0.3)
+    ).generate()
+    assert len(scaled) < len(base)
+
+
+def test_dns_can_be_disabled():
+    frame = WorkloadGenerator(
+        WorkloadConfig(n_customers=30, days=1, seed=5, include_dns=False)
+    ).generate()
+    assert not (frame.l7_idx == DNS).any()
+
+
+def test_country_restriction():
+    frame = WorkloadGenerator(
+        WorkloadConfig(n_customers=30, days=1, seed=5, countries=["Spain"])
+    ).generate()
+    present = {frame.countries[i] for i in np.unique(frame.country_idx)}
+    assert present == {"Spain"}
