@@ -1,0 +1,53 @@
+"""Fail CI when generator throughput regresses past the recorded baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_micro_performance.py \
+        --benchmark-json=/tmp/bench.json
+    python benchmarks/check_regression.py /tmp/bench.json
+
+Compares the mean of the benchmark named in ``BENCH_parallel.json``'s
+``regression_guard`` block against ``baseline_mean_ms`` and exits
+non-zero when the slowdown exceeds ``max_slowdown``. The factor is
+deliberately loose (2x) so shared-runner noise does not flake the
+build; a genuine hot-path regression blows well past it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    guard = json.loads((REPO_ROOT / "BENCH_parallel.json").read_text())[
+        "regression_guard"
+    ]
+    results = json.loads(Path(argv[1]).read_text())
+    matches = [
+        bench
+        for bench in results["benchmarks"]
+        if bench["name"] == guard["benchmark"]
+    ]
+    if not matches:
+        print(f"error: benchmark {guard['benchmark']!r} not found in {argv[1]}")
+        return 2
+    mean_ms = matches[0]["stats"]["mean"] * 1000.0
+    limit_ms = guard["baseline_mean_ms"] * guard["max_slowdown"]
+    verdict = "OK" if mean_ms <= limit_ms else "REGRESSION"
+    print(
+        f"{guard['benchmark']}: mean {mean_ms:.1f} ms, "
+        f"baseline {guard['baseline_mean_ms']:.1f} ms, "
+        f"limit {limit_ms:.1f} ms ({guard['max_slowdown']}x) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

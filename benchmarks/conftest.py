@@ -7,14 +7,23 @@ writes its rendered paper-vs-measured table to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.cache import CaptureCache
 from repro.pipeline import PacketSimConfig, run_packet_simulation
 from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Captures persist across benchmark sessions here (override with
+#: ``REPRO_BENCH_CACHE_DIR``; keyed by config content, so editing
+#: ``BENCH_CONFIG`` or bumping ``repro.cache.CACHE_SALT`` regenerates).
+CACHE_DIR = Path(
+    os.environ.get("REPRO_BENCH_CACHE_DIR", Path(__file__).parent / ".cache")
+)
 
 #: The standard evaluation capture: ~600 customers, 5 days.
 BENCH_CONFIG = WorkloadConfig(n_customers=600, days=5, seed=2022)
@@ -27,7 +36,13 @@ def generator() -> WorkloadGenerator:
 
 @pytest.fixture(scope="session")
 def frame(generator):
-    return generator.generate()
+    cache = CaptureCache(CACHE_DIR)
+    cached = cache.load(BENCH_CONFIG)
+    if cached is not None:
+        return cached
+    frame = generator.generate()
+    cache.store(BENCH_CONFIG, frame)
+    return frame
 
 
 @pytest.fixture(scope="session")

@@ -9,10 +9,17 @@ few seconds), then prints three of the paper's headline views:
 * Figure 8a — what the satellite does to RTT.
 
 Run:  python examples/quickstart.py [n_customers] [days]
+
+Set ``REPRO_CACHE=1`` to reuse the content-keyed capture cache
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``): the first run generates,
+reruns reload the same capture in well under a second. ``REPRO_WORKERS``
+sets the generation worker count (0 = one per core) — the capture is
+bit-identical either way.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.analysis.reports import fig2_country, fig8_satellite_rtt, table1_protocols
@@ -23,10 +30,12 @@ from repro.traffic.workload import WorkloadConfig
 def main() -> None:
     n_customers = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     days = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
 
     print(f"Generating {days} days of traffic for {n_customers} customers...")
     frame, generator = generate_flow_dataset(
-        WorkloadConfig(n_customers=n_customers, days=days, seed=1)
+        WorkloadConfig(n_customers=n_customers, days=days, seed=1, n_workers=workers),
+        cache=bool(os.environ.get("REPRO_CACHE")),
     )
     print(f"Captured {len(frame):,} flows from {len(generator.population)} customers "
           f"in {len(set(s.country for s in generator.population.subscribers))} countries.\n")

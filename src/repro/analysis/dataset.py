@@ -17,6 +17,15 @@ import numpy as np
 from repro.constants import SECONDS_PER_DAY
 from repro.flowmeter.records import FlowRecord, L7Protocol, L7_ORDER
 
+_POOL_FIELDS = (
+    "countries",
+    "beams",
+    "services",
+    "domains",
+    "sites",
+    "resolvers",
+)
+
 _ARRAY_FIELDS = (
     "ts_start",
     "day",
@@ -78,6 +87,11 @@ class FlowFrame:
         for name in _ARRAY_FIELDS:
             if len(getattr(self, name)) != n:
                 raise ValueError(f"column {name} has mismatched length")
+        # normalize the documented i4 dtype: every construction path
+        # (generator, packet records, npz round-trips of old captures)
+        # must agree or concatenation silently widens the column
+        if self.customer_id.dtype != np.int32:
+            self.customer_id = self.customer_id.astype(np.int32)
 
     def __len__(self) -> int:
         return len(self.ts_start)
@@ -129,12 +143,13 @@ class FlowFrame:
     # -- grouping helpers --------------------------------------------------
 
     def groupby_country(self) -> Dict[str, np.ndarray]:
-        """country name → boolean mask."""
-        return {
-            name: self.country_idx == idx
-            for idx, name in enumerate(self.countries)
-            if (self.country_idx == idx).any()
-        }
+        """country name → boolean mask (absent countries omitted)."""
+        groups: Dict[str, np.ndarray] = {}
+        for idx, name in enumerate(self.countries):
+            mask = self.country_idx == idx
+            if mask.any():
+                groups[name] = mask
+        return groups
 
     def customer_day_totals(
         self, value: np.ndarray, mask: Optional[np.ndarray] = None
@@ -165,19 +180,23 @@ class FlowFrame:
 
     # -- persistence ---------------------------------------------------------
 
-    def save_npz(self, path) -> None:
-        """Persist the frame (columns + pools) to a compressed ``.npz``.
+    def save_npz(self, path, compress: bool = True) -> None:
+        """Persist the frame (columns + pools) to an ``.npz``.
 
         The paper ships daily flow summaries to long-term storage; this
         is the equivalent for synthetic captures — a 1 M-flow frame is
-        a few tens of MB and reloads in well under a second.
+        a few tens of MB compressed and reloads in well under a second.
+        ``compress=False`` trades disk for speed (what the capture
+        cache uses: a multi-million-flow frame stores and reloads in
+        a fraction of the compression time).
         """
         pools = {
             f"pool_{name}": np.array(getattr(self, name), dtype=object)
-            for name in ("countries", "beams", "services", "domains", "sites", "resolvers")
+            for name in _POOL_FIELDS
         }
         columns = {name: getattr(self, name) for name in _ARRAY_FIELDS}
-        np.savez_compressed(path, **pools, **columns)
+        writer = np.savez_compressed if compress else np.savez
+        writer(path, **pools, **columns)
 
     @classmethod
     def load_npz(cls, path) -> "FlowFrame":
@@ -185,7 +204,7 @@ class FlowFrame:
         with np.load(path, allow_pickle=True) as data:
             pools = {
                 name: [str(x) for x in data[f"pool_{name}"]]
-                for name in ("countries", "beams", "services", "domains", "sites", "resolvers")
+                for name in _POOL_FIELDS
             }
             columns = {name: data[name] for name in _ARRAY_FIELDS}
         return cls(**pools, **columns)
@@ -199,12 +218,11 @@ class FlowFrame:
             raise ValueError("no frames to concatenate")
         first = frames[0]
         for frame in frames[1:]:
-            if (
-                frame.countries != first.countries
-                or frame.services != first.services
-                or frame.domains != first.domains
-            ):
-                raise ValueError("frames must share categorical pools")
+            for pool in _POOL_FIELDS:
+                if getattr(frame, pool) != getattr(first, pool):
+                    raise ValueError(
+                        f"frames must share categorical pools ({pool} differs)"
+                    )
         kwargs = {
             name: np.concatenate([getattr(frame, name) for frame in frames])
             for name in _ARRAY_FIELDS
@@ -266,7 +284,7 @@ class FlowFrame:
             hour_utc=np.array(
                 [(r.ts_start % SECONDS_PER_DAY) / 3600.0 for r in records], dtype=np.float32
             ),
-            customer_id=np.array([r.client_ip & 0xFFFFFF for r in records], dtype=np.int64),
+            customer_id=np.array([r.client_ip & 0xFFFFFF for r in records], dtype=np.int32),
             country_idx=np.array([intern_country(r.client_ip) for r in records], dtype=np.int16),
             subscriber_type=np.full(n, -1, dtype=np.int8),
             beam_idx=np.full(n, -1, dtype=np.int16),

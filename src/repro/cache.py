@@ -1,0 +1,144 @@
+"""Content-keyed capture cache.
+
+Every benchmark session, CLI run, and example used to regenerate the
+identical 600-customer capture from scratch. The cache maps the
+*content identity* of a :class:`~repro.traffic.workload.WorkloadConfig`
+— every field that changes the generated flows, plus a code-version
+salt — to an ``.npz`` file, so a capture is generated once per config
+and then reloads in well under a second.
+
+Keying rules:
+
+* ``n_workers`` is **excluded**: worker count never changes the output
+  (see :mod:`repro.parallel`), so a capture generated with 8 workers
+  hits for a serial run of the same config.
+* ``n_shards`` is **included**: the shard plan decides which RNG
+  stream samples which customer, so it is part of the content.
+* :data:`CACHE_SALT` is **included**: bump it whenever the generator's
+  sampling logic changes, and every stale entry misses from then on.
+  Stale files are eventually overwritten in place (same filename ⇒
+  same key), never silently served.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a torn capture behind; concurrent
+writers of the same key simply race to publish identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.analysis.dataset import FlowFrame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.traffic.workload import WorkloadConfig
+
+#: Bump whenever a generator change alters the sampled flows for an
+#: unchanged config (new RNG consumption order, new column, new model).
+CACHE_SALT = "repro-capture-v1"
+
+#: Config fields that do NOT change the generated flows and therefore
+#: must not contribute to the cache key.
+_EXECUTION_ONLY_FIELDS = frozenset({"n_workers"})
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def config_cache_key(config: "WorkloadConfig") -> str:
+    """Hex digest identifying the capture ``config`` generates."""
+    payload = {"salt": CACHE_SALT}
+    for f in dataclasses.fields(config):
+        if f.name in _EXECUTION_ONLY_FIELDS:
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[f.name] = value
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+class CaptureCache:
+    """Filesystem cache of generated :class:`FlowFrame` captures."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def path_for(self, config: "WorkloadConfig") -> Path:
+        """Where the capture for ``config`` lives (existing or not)."""
+        return self.directory / f"capture-{config_cache_key(config)}.npz"
+
+    def load(self, config: "WorkloadConfig") -> Optional[FlowFrame]:
+        """The cached capture for ``config``, or ``None`` on a miss.
+
+        A corrupt entry (torn by an old non-atomic writer, truncated
+        disk) is treated as a miss and removed.
+        """
+        path = self.path_for(config)
+        if not path.exists():
+            return None
+        try:
+            return FlowFrame.load_npz(path)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, config: "WorkloadConfig", frame: FlowFrame) -> Path:
+        """Atomically publish ``frame`` as the capture for ``config``."""
+        path = self.path_for(config)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                # uncompressed: a cache optimizes reload latency, and
+                # savez_compressed costs ~10x the write time
+                frame.save_npz(handle, compress=False)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached capture; returns how many were removed."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("capture-*.npz"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def resolve_cache(
+    cache: Union[None, bool, str, Path, CaptureCache]
+) -> Optional[CaptureCache]:
+    """Normalize the ``cache=`` argument accepted by the pipeline.
+
+    ``None``/``False`` disable caching, ``True`` uses the default
+    directory, a path uses that directory, and a :class:`CaptureCache`
+    is passed through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return CaptureCache()
+    if isinstance(cache, CaptureCache):
+        return cache
+    return CaptureCache(cache)

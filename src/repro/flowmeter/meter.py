@@ -10,7 +10,7 @@ prefix-preserving anonymizer (CryptoPan in the paper, Section 2.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.cryptopan import PrefixPreservingAnonymizer
 from repro.net.flowkey import Direction, FiveTuple
@@ -27,6 +27,9 @@ class _FlowState:
     key: FiveTuple
     ts_start: float
     ts_end: float
+    #: The server-perspective orientation of ``key``, computed once at
+    #: flow creation so the per-packet lookup never rebuilds it.
+    key_reversed: Optional[FiveTuple] = None
     bytes_up: int = 0
     bytes_down: int = 0
     pkts_up: int = 0
@@ -41,6 +44,8 @@ class _FlowState:
     dpi: Optional[DpiEngine] = None
 
     def __post_init__(self) -> None:
+        if self.key_reversed is None:
+            self.key_reversed = self.key.reversed()
         if self.dpi is None:
             self.dpi = DpiEngine(
                 protocol="tcp" if self.key.protocol == IPProtocol.TCP else "udp",
@@ -71,6 +76,10 @@ class FlowMeter:
         self.anonymizer = anonymizer
         self.idle_timeout_s = idle_timeout_s
         self._flows: Dict[FiveTuple, _FlowState] = {}
+        # both orientations of every active flow, resolved in a single
+        # dict probe per packet (the paper's probe sees every packet of
+        # every flow twice-directional — this is the hottest lookup)
+        self._by_orientation: Dict[FiveTuple, Tuple[_FlowState, Direction]] = {}
         self.records: List[FlowRecord] = []
         self.packets_processed = 0
 
@@ -120,13 +129,9 @@ class FlowMeter:
 
     def _lookup(self, packet: Packet):
         forward, _ = FiveTuple.from_packet(packet)
-        state = self._flows.get(forward)
-        if state is not None:
-            return state, Direction.CLIENT_TO_SERVER
-        backward = forward.reversed()
-        state = self._flows.get(backward)
-        if state is not None:
-            return state, Direction.SERVER_TO_CLIENT
+        hit = self._by_orientation.get(forward)
+        if hit is not None:
+            return hit
         if packet.protocol == IPProtocol.TCP and not (
             packet.has_flag(TCPFlags.SYN) or packet.payload_len > 0
         ):
@@ -135,6 +140,12 @@ class FlowMeter:
             return None
         state = _FlowState(key=forward, ts_start=packet.timestamp, ts_end=packet.timestamp)
         self._flows[forward] = state
+        self._by_orientation[forward] = (state, Direction.CLIENT_TO_SERVER)
+        if state.key_reversed != forward:  # guard pathological symmetric keys
+            self._by_orientation[state.key_reversed] = (
+                state,
+                Direction.SERVER_TO_CLIENT,
+            )
         return state, Direction.CLIENT_TO_SERVER
 
     @staticmethod
@@ -143,6 +154,8 @@ class FlowMeter:
 
     def _emit(self, state: _FlowState) -> None:
         self._flows.pop(state.key, None)
+        self._by_orientation.pop(state.key, None)
+        self._by_orientation.pop(state.key_reversed, None)
         self.records.append(self._to_record(state))
 
     def _to_record(self, state: _FlowState) -> FlowRecord:

@@ -265,12 +265,41 @@ def generate_flow_dataset(
     rtt_model: Optional[SatelliteRttModel] = None,
     internet: Optional[InternetModel] = None,
     population: Optional[Population] = None,
+    cache=None,
 ) -> Tuple[FlowFrame, WorkloadGenerator]:
-    """Generate the flow-level synthetic capture."""
+    """Generate the flow-level synthetic capture.
+
+    ``cache`` may be ``True`` (default cache dir), a directory path, or
+    a :class:`~repro.cache.CaptureCache`; the capture is then loaded
+    from — or generated once and stored into — the content-keyed cache
+    (see :mod:`repro.cache`). Caching only engages when the generator
+    is built purely from ``config``: custom ``rtt_model`` / ``internet``
+    / ``population`` objects are not part of the cache key, so passing
+    any of them bypasses the cache rather than risking a wrong hit.
+    """
+    from repro.cache import resolve_cache
+
+    capture_cache = resolve_cache(cache)
+    if capture_cache is not None and any(
+        override is not None for override in (rtt_model, internet, population)
+    ):
+        capture_cache = None
+    resolved_config = config or WorkloadConfig()
+    if capture_cache is not None:
+        cached = capture_cache.load(resolved_config)
+        if cached is not None:
+            generator = WorkloadGenerator(config=resolved_config)
+            return cached, generator
     generator = WorkloadGenerator(
-        config=config, internet=internet, rtt_model=rtt_model, population=population
+        config=resolved_config,
+        internet=internet,
+        rtt_model=rtt_model,
+        population=population,
     )
-    return generator.generate(), generator
+    frame = generator.generate()
+    if capture_cache is not None:
+        capture_cache.store(resolved_config, frame)
+    return frame, generator
 
 
 def generate_with_forced_resolver(

@@ -1,31 +1,51 @@
 """Discrete-event scheduler.
 
-The :class:`Simulator` keeps a priority queue of :class:`Event` objects
-and executes them in timestamp order. Ties are broken by insertion order
-so simulations are fully deterministic.
+The :class:`Simulator` keeps a priority queue of ``(time, seq, event)``
+tuples and executes events in timestamp order. Ties are broken by
+insertion order so simulations are fully deterministic.
+
+The queue holds plain tuples rather than rich-comparing :class:`Event`
+objects: every heap sift compares ``(float, int)`` pairs directly
+instead of dispatching through a generated dataclass ``__lt__``, and
+``Event`` itself is a ``__slots__`` class — the packet path schedules
+one event per packet per hop, so allocation and comparison cost here
+is a per-packet tax.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle (cancellable).
 
-    Events compare by ``(time, seq)`` so that simultaneous events run in
-    the order they were scheduled.
+    Ordering lives in the simulator's ``(time, seq)`` heap tuples;
+    ``seq`` is unique per simulator so ties resolve by scheduling
+    order and comparison never reaches the event object.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(time={self.time!r}, seq={self.seq!r}{state})"
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it is popped."""
@@ -46,7 +66,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._events_processed = 0
 
@@ -75,17 +95,19 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute virtual ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule into the past ({time} < {self._now})")
-        event = Event(time=time, seq=next(self._counter), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
+        seq = next(self._counter)
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def step(self) -> bool:
         """Execute the next event. Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             event.callback(*event.args)
             self._events_processed += 1
             return True
@@ -99,14 +121,15 @@ class Simulator:
         ``until`` even if the queue drains earlier.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        while queue:
             if max_events is not None and executed >= max_events:
                 return
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+            head_time, _seq, head_event = queue[0]
+            if head_event.cancelled:
+                heapq.heappop(queue)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head_time > until:
                 break
             if not self.step():
                 break

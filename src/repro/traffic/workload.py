@@ -25,6 +25,13 @@ from repro.internet.geo import COUNTRIES, SERVER_SITES
 from repro.internet.resolvers import RESOLVERS, ResolverCatalog
 from repro.internet.servers import SelectionPolicy, deployment
 from repro.internet.topology import InternetModel
+from repro.parallel import (
+    ShardSpec,
+    default_shard_count,
+    generate_shards,
+    plan_shards,
+    resolve_workers,
+)
 from repro.satcom.beams import BeamMap, build_default_beam_map
 from repro.satcom.delay_model import SatelliteRttModel
 from repro.traffic.profiles import country_profile
@@ -40,6 +47,9 @@ _HTTPS_IDX = L7_ORDER.index(L7Protocol.HTTPS)
 _DNS_IDX = L7_ORDER.index(L7Protocol.DNS)
 _DOMAINS_PER_SERVICE = 24
 _VIDEO_BITRATES_MBPS = np.array([2.5, 4.0, 8.0, 16.0])
+# largest float32 below 24.0: hours sampled in [0, 24) as float64 can
+# round up to exactly 24.0 when narrowed to float32
+_HOUR_MAX_F4 = np.nextafter(np.float32(24.0), np.float32(0.0))
 
 
 @dataclass
@@ -55,6 +65,13 @@ class WorkloadConfig:
     include_dns: bool = True
     dns_flows_per_day: float = 25.0
     """Mean DNS flows per household-day (scaled by flow multiplier)."""
+    n_workers: Optional[int] = 1
+    """Worker processes for generation: ``1`` serial, ``None``/``0``
+    one per core. Never affects the generated flows, only wall-clock."""
+    n_shards: Optional[int] = None
+    """Customer shards (RNG streams). ``None`` derives the count from
+    ``n_customers`` alone. Changing it changes the sampled flows, so it
+    is part of the capture's cache identity — unlike ``n_workers``."""
 
 
 class WorkloadGenerator:
@@ -131,6 +148,14 @@ class WorkloadGenerator:
         self.cust_volume_mult = np.array([s.volume_multiplier for s in subs], dtype=np.float64)
         self.cust_flow_mult = np.array([s.flow_multiplier for s in subs], dtype=np.float64)
         self.cust_size_scale = self.cust_volume_mult / np.maximum(self.cust_flow_mult, 1e-9)
+        # (service, customer) daily-use probabilities as one dense
+        # matrix: the generator reads a row slice per chunk instead of
+        # chasing per-subscriber dicts in the per-shard hot loop
+        self.cust_use_prob = np.zeros((len(SERVICES), n), dtype=np.float64)
+        for s_idx, name in enumerate(SERVICES):
+            self.cust_use_prob[s_idx] = [
+                s.daily_use_prob.get(name, 0.0) for s in subs
+            ]
         self._country_customers: Dict[str, np.ndarray] = {}
         for country in set(s.country for s in subs):
             self._country_customers[country] = np.array(
@@ -167,23 +192,62 @@ class WorkloadGenerator:
 
     # -- generation ---------------------------------------------------------
 
+    def shard_plan(self) -> List[ShardSpec]:
+        """The shards :meth:`generate` will execute (config-derived)."""
+        n_shards = self.config.n_shards or default_shard_count(len(self.population))
+        return plan_shards(len(self.population), n_shards)
+
     def generate(self) -> FlowFrame:
-        """Produce the full synthetic capture."""
+        """Produce the full synthetic capture.
+
+        The population is split into contiguous customer-id shards,
+        each generated from its own ``SeedSequence``-spawned RNG
+        stream, then merged in shard order — so the result is
+        bit-identical for any ``n_workers`` (see DESIGN.md §7).
+        """
+        shards = self.shard_plan()
+        workers = resolve_workers(self.config.n_workers)
+        frames = [
+            frame
+            for frame in generate_shards(self, shards, workers)
+            if frame is not None
+        ]
+        if not frames:
+            raise RuntimeError("workload produced no flows")
+        if len(frames) == 1:
+            return frames[0]
+        return FlowFrame.concat(frames)
+
+    def generate_shard(self, shard: ShardSpec) -> Optional[FlowFrame]:
+        """Generate the flows of one customer shard.
+
+        Draws from the shard's own spawned RNG stream; ``None`` when
+        the shard's customers produce no flows at all (tiny configs).
+        """
+        seed = np.random.SeedSequence(self.config.seed).spawn(shard.n_shards)[
+            shard.index
+        ]
+        rng = np.random.default_rng(seed)
         chunks: List[Dict[str, np.ndarray]] = []
         for country, cust_ids in sorted(self._country_customers.items()):
+            shard_ids = cust_ids[(cust_ids >= shard.lo) & (cust_ids < shard.hi)]
+            if len(shard_ids) == 0:
+                continue
             profile = country_profile(country)
             for svc_idx, (name, svc) in enumerate(SERVICES.items()):
                 chunk = self._generate_service_chunk(
-                    country, cust_ids, profile, svc_idx, svc
+                    country, shard_ids, profile, svc_idx, svc, rng=rng
                 )
                 if chunk is not None:
                     chunks.append(chunk)
             if self.config.include_dns:
-                dns_chunk = self._generate_dns_chunk(country, cust_ids, profile)
+                dns_chunk = self._generate_dns_chunk(
+                    country, shard_ids, profile, rng=rng
+                )
                 if dns_chunk is not None:
                     chunks.append(dns_chunk)
         if not chunks:
-            raise RuntimeError("workload produced no flows")
+            return None
         columns = {
             key: np.concatenate([chunk[key] for chunk in chunks])
             for key in chunks[0]
@@ -199,21 +263,32 @@ class WorkloadGenerator:
         )
 
     # -- per-batch internals --------------------------------------------------
+    #
+    # Every sampling helper takes an explicit ``rng`` (defaulting to the
+    # construction-time stream) so shards can draw from their own
+    # spawned streams without touching shared state.
 
     def _activity_pairs(
-        self, cust_ids: np.ndarray, probs: np.ndarray
+        self,
+        cust_ids: np.ndarray,
+        probs: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(customer, day) pairs on which the service is used."""
+        rng = rng if rng is not None else self.rng
         days = self.config.days
-        active = self.rng.random((len(cust_ids), days)) < probs[:, None]
+        active = rng.random((len(cust_ids), days)) < probs[:, None]
         rows, day_idx = np.nonzero(active)
         return cust_ids[rows], day_idx
 
-    def _sample_hours(self, profile, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    def _sample_hours(
+        self, profile, n: int, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """(local hour, UTC hour) arrays of length n."""
+        rng = rng if rng is not None else self.rng
         hour_local = (
-            self.rng.choice(24, size=n, p=profile.hourly_weights_local)
-            + self.rng.uniform(0.0, 1.0, n)
+            rng.choice(24, size=n, p=profile.hourly_weights_local)
+            + rng.uniform(0.0, 1.0, n)
         )
         shift = profile.location.lon_deg / 15.0
         hour_utc = (hour_local - shift) % 24.0
@@ -226,16 +301,13 @@ class WorkloadGenerator:
         profile,
         svc_idx: int,
         svc: Service,
+        rng: Optional[np.random.Generator] = None,
     ) -> Optional[Dict[str, np.ndarray]]:
-        probs = np.array(
-            [
-                self.population.subscribers[i].daily_use_prob.get(svc.name, 0.0)
-                for i in cust_ids
-            ]
-        )
+        rng = rng if rng is not None else self.rng
+        probs = self.cust_use_prob[svc_idx, cust_ids]
         if not probs.any():
             return None
-        pair_cust, pair_day = self._activity_pairs(cust_ids, probs)
+        pair_cust, pair_day = self._activity_pairs(cust_ids, probs, rng=rng)
         if len(pair_cust) == 0:
             return None
 
@@ -250,17 +322,17 @@ class WorkloadGenerator:
             np.round(
                 svc.flows_median
                 * flow_int
-                * self.rng.lognormal(0.0, svc.flows_sigma, len(pair_cust))
+                * rng.lognormal(0.0, svc.flows_sigma, len(pair_cust))
             ).astype(np.int64),
         )
         flow_cust = np.repeat(pair_cust, n_flows)
         flow_day = np.repeat(pair_day, n_flows)
         total = len(flow_cust)
 
-        hour_local, hour_utc = self._sample_hours(profile, total)
+        hour_local, hour_utc = self._sample_hours(profile, total, rng=rng)
         ts = flow_day * SECONDS_PER_DAY + hour_utc * 3600.0
 
-        l7 = svc.sample_protocol(self.rng, total).astype(np.int8)
+        l7 = svc.sample_protocol(rng, total).astype(np.int8)
         # Day-to-day burstiness: a small fraction of customer-days are
         # binges (community APs more often) — these drive the
         # heavy-hitter tails of Figures 5b/5c.
@@ -268,20 +340,20 @@ class WorkloadGenerator:
         binge_prob = np.where(
             self.cust_type[pair_cust] == int(SubscriberType.COMMUNITY), 0.10, 0.035
         )
-        binge = self.rng.random(n_pairs) < binge_prob
+        binge = rng.random(n_pairs) < binge_prob
         day_factor = np.repeat(
-            self.rng.lognormal(0.0, 0.5, n_pairs) * np.where(binge, 8.0, 1.0),
+            rng.lognormal(0.0, 0.5, n_pairs) * np.where(binge, 8.0, 1.0),
             n_flows,
         )
         size_scale = self.cust_size_scale[flow_cust] * intensity**0.6 * day_factor
-        bytes_down = svc.size.sample_down(self.rng, total) * size_scale
-        bytes_up = svc.size.sample_up(bytes_down, self.rng)
+        bytes_down = svc.size.sample_down(rng, total) * size_scale
+        bytes_up = svc.size.sample_up(bytes_down, rng)
 
         domains = self._service_domains[svc.name]
-        domain_idx = domains[self.rng.integers(0, len(domains), total)]
+        domain_idx = domains[rng.integers(0, len(domains), total)]
 
-        site_idx = self._select_sites(svc, country, flow_cust, total)
-        ground_rtt = self._site_base_rtt[site_idx] * self.rng.lognormal(
+        site_idx = self._select_sites(svc, country, flow_cust, total, rng=rng)
+        ground_rtt = self._site_base_rtt[site_idx] * rng.lognormal(
             0.0, self.internet.latency.jitter_sigma, total
         )
 
@@ -300,13 +372,19 @@ class WorkloadGenerator:
                     country,
                     utilization[https_mask],
                     pep_load[https_mask],
-                    self.rng,
+                    rng,
                 )
                 * 1000.0
             ).astype(np.float32)
 
         duration = self._sample_duration(
-            svc, flow_cust, bytes_down, utilization, sat_rtt, profile.continent
+            svc,
+            flow_cust,
+            bytes_down,
+            utilization,
+            sat_rtt,
+            profile.continent,
+            rng=rng,
         )
 
         return self._make_chunk(
@@ -328,14 +406,20 @@ class WorkloadGenerator:
         )
 
     def _select_sites(
-        self, svc: Service, country: str, flow_cust: np.ndarray, total: int
+        self,
+        svc: Service,
+        country: str,
+        flow_cust: np.ndarray,
+        total: int,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
+        rng = rng if rng is not None else self.rng
         resolver_idx = self.cust_resolver_idx[flow_cust]
         egress_sites = self._site_by_resolver[svc.name][resolver_idx]
         if svc.policy in (SelectionPolicy.ANYCAST, SelectionPolicy.ORIGIN):
             return egress_sites
         ecs_possible = self._resolver_is_ecs[resolver_idx]
-        ecs_roll = self.rng.random(total) < self._resolver_ecs_accuracy[resolver_idx]
+        ecs_roll = rng.random(total) < self._resolver_ecs_accuracy[resolver_idx]
         ecs_mask = ecs_possible & ecs_roll
         country_site = self._site_by_country[svc.name][country]
         return np.where(ecs_mask, country_site, egress_sites)
@@ -348,41 +432,48 @@ class WorkloadGenerator:
         utilization: np.ndarray,
         sat_rtt_ms: np.ndarray,
         continent: str,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
+        rng = rng if rng is not None else self.rng
         total = len(flow_cust)
         plan_bps = self.cust_plan_down[flow_cust].astype(np.float64) * 1e6
-        frac = self.rng.beta(6.0, 1.4, total)
+        frac = rng.beta(6.0, 1.4, total)
         congestion = np.clip((utilization - 0.55) / 0.45, 0.0, 1.0)
-        rate = plan_bps * frac * (1.0 - 0.55 * congestion * self.rng.uniform(0.5, 1.0, total))
+        rate = plan_bps * frac * (1.0 - 0.55 * congestion * rng.uniform(0.5, 1.0, total))
         community = self.cust_type[flow_cust] == int(SubscriberType.COMMUNITY)
-        rate = np.where(community, rate * self.rng.uniform(0.25, 0.7, total), rate)
+        rate = np.where(community, rate * rng.uniform(0.25, 0.7, total), rate)
         if continent == "Africa":
             rate *= 0.9  # less capable end-user terminals (Section 6.5)
         if svc.category == ServiceCategory.VIDEO:
             # rate-limited streaming for about half the flows
-            bitrate = _VIDEO_BITRATES_MBPS[self.rng.integers(0, 4, total)] * 1e6
-            limited = self.rng.random(total) < 0.5
+            bitrate = _VIDEO_BITRATES_MBPS[rng.integers(0, 4, total)] * 1e6
+            limited = rng.random(total) < 0.5
             rate = np.where(limited, np.minimum(rate, bitrate), rate)
         rate = np.maximum(rate, 20_000.0)
         # Bulk transfers mostly ride reused (kept-alive) connections, so
         # their probe-side duration is transfer-dominated — that is what
         # puts the Figure 11a knees at the commercial plan rates.
         handshake = np.where(np.isnan(sat_rtt_ms), 600.0, sat_rtt_ms) / 1000.0
-        reused = (bytes_down > 5e6) & (self.rng.random(total) < 0.7)
+        reused = (bytes_down > 5e6) & (rng.random(total) < 0.7)
         handshake = np.where(reused, 0.0, handshake)
-        tail = self.rng.exponential(0.15, total)
+        tail = rng.exponential(0.15, total)
         return (bytes_down * 8.0 / rate + handshake + tail).astype(np.float32)
 
     def _generate_dns_chunk(
-        self, country: str, cust_ids: np.ndarray, profile
+        self,
+        country: str,
+        cust_ids: np.ndarray,
+        profile,
+        rng: Optional[np.random.Generator] = None,
     ) -> Optional[Dict[str, np.ndarray]]:
+        rng = rng if rng is not None else self.rng
         days = self.config.days
         mean = (
             self.config.dns_flows_per_day
             * self.cust_flow_mult[cust_ids]
             * self.config.flow_scale
         )
-        counts = self.rng.poisson(np.tile(mean, days))
+        counts = rng.poisson(np.tile(mean, days))
         if counts.sum() == 0:
             return None
         pair_cust = np.tile(cust_ids, days)
@@ -391,14 +482,14 @@ class WorkloadGenerator:
         flow_day = np.repeat(pair_day, counts)
         total = len(flow_cust)
 
-        hour_local, hour_utc = self._sample_hours(profile, total)
+        hour_local, hour_utc = self._sample_hours(profile, total, rng=rng)
         ts = flow_day * SECONDS_PER_DAY + hour_utc * 3600.0
 
         resolver_idx = self.cust_resolver_idx[flow_cust].copy()
         # a small fraction of queries go to secondary resolvers
-        stray = self.rng.random(total) < 0.08
+        stray = rng.random(total) < 0.08
         if stray.any():
-            resolver_idx[stray] = self.rng.integers(
+            resolver_idx[stray] = rng.integers(
                 0, len(self.resolvers_pool), stray.sum()
             )
 
@@ -407,11 +498,11 @@ class WorkloadGenerator:
             mask = resolver_idx == r_idx
             resolver = RESOLVERS[self.resolvers_pool[r_idx]]
             response[mask] = resolver.sample_response_ms(
-                self.internet.latency, self.rng, int(mask.sum())
+                self.internet.latency, rng, int(mask.sum())
             ).astype(np.float32)
 
-        bytes_up = self.rng.integers(60, 90, total).astype(np.float64)
-        bytes_down = self.rng.integers(120, 400, total).astype(np.float64)
+        bytes_up = rng.integers(60, 90, total).astype(np.float64)
+        bytes_down = rng.integers(120, 400, total).astype(np.float64)
 
         return self._make_chunk(
             ts=ts,
@@ -452,8 +543,8 @@ class WorkloadGenerator:
         return {
             "ts_start": ts.astype(np.float64),
             "day": day.astype(np.int32),
-            "hour_utc": hour_utc.astype(np.float32),
-            "customer_id": (flow_cust + 1).astype(np.int64),
+            "hour_utc": np.minimum(hour_utc.astype(np.float32), _HOUR_MAX_F4),
+            "customer_id": (flow_cust + 1).astype(np.int32),
             "country_idx": self.cust_country_idx[flow_cust],
             "subscriber_type": self.cust_type[flow_cust],
             "beam_idx": self.cust_beam_idx[flow_cust],

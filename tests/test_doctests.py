@@ -13,6 +13,7 @@ import repro.protocols.quic
 import repro.protocols.rtp
 import repro.protocols.tls
 import repro.internet.geo
+import repro.parallel
 import repro.simnet.engine
 
 MODULES = [
@@ -25,6 +26,7 @@ MODULES = [
     repro.protocols.rtp,
     repro.protocols.tls,
     repro.internet.geo,
+    repro.parallel,
     repro.simnet.engine,
 ]
 
