@@ -1,0 +1,67 @@
+"""Streaming-capture smoke: kill+resume bit-identity plus throughput.
+
+Run by the CI ``stream`` job. Unlike the figure benchmarks this does
+not consume the shared session capture — the whole point is to produce
+its own windows, kill the run between two of them, and prove the
+resumed capture is bit-identical to the uninterrupted one. Measured
+numbers for this machine class are recorded in ``BENCH_stream.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.stream import (
+    StreamConfig,
+    StreamRollup,
+    render_telemetry,
+    rollup_path,
+    run_stream_capture,
+)
+from repro.traffic.workload import WorkloadConfig
+
+SMOKE_CONFIG = StreamConfig(
+    workload=WorkloadConfig(n_customers=150, days=3, seed=2022),
+    window_days=1,
+    compress=False,
+)
+
+#: Deliberately loose floor (shared CI runners are noisy); the recorded
+#: number in BENCH_stream.json is ~10x this.
+MIN_FLOWS_PER_S = 20_000
+
+
+def test_stream_kill_resume_bit_identical(tmp_path):
+    one_shot = run_stream_capture(SMOKE_CONFIG, tmp_path / "one")
+    assert one_shot.complete
+
+    killed = run_stream_capture(SMOKE_CONFIG, tmp_path / "resumed", max_windows=1)
+    assert not killed.complete
+    resumed = run_stream_capture(SMOKE_CONFIG, tmp_path / "resumed", resume=True)
+    assert resumed.complete
+
+    assert resumed.rollup.state_digest() == one_shot.rollup.state_digest()
+    # the digest persisted for the *next* resume must agree too
+    reloaded = StreamRollup.load(rollup_path(tmp_path / "resumed"))
+    assert reloaded.state_digest() == one_shot.rollup.state_digest()
+
+
+def test_stream_throughput_smoke(tmp_path):
+    started = time.perf_counter()
+    result = run_stream_capture(SMOKE_CONFIG, tmp_path / "cap")
+    elapsed = time.perf_counter() - started
+    flows = sum(t.flows for t in result.telemetry)
+    throughput = flows / elapsed
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "stream_smoke.txt").write_text(
+        render_telemetry(result.telemetry)
+        + f"\nend-to-end: {flows:,} flows in {elapsed:.2f} s "
+        f"({throughput:,.0f} flows/s)\n"
+    )
+
+    assert result.complete
+    assert flows > 100_000
+    assert throughput > MIN_FLOWS_PER_S, f"{throughput:,.0f} flows/s"

@@ -96,6 +96,33 @@ class FlowFrame:
     def __len__(self) -> int:
         return len(self.ts_start)
 
+    #: Estimated per-string overhead of a pooled CPython str object
+    #: (header + ascii payload bookkeeping), used by :attr:`nbytes`.
+    _POOL_STR_OVERHEAD = 49
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size: column bytes + pool estimate.
+
+        The column part is exact (``ndarray.nbytes``); the categorical
+        pools are estimated as one interned CPython string each. Used
+        for quick memory triage of captures and streaming windows.
+        """
+        columns = sum(getattr(self, name).nbytes for name in _ARRAY_FIELDS)
+        pools = sum(
+            len(entry) + self._POOL_STR_OVERHEAD
+            for name in _POOL_FIELDS
+            for entry in getattr(self, name)
+        )
+        return columns + pools
+
+    def __repr__(self) -> str:
+        mb = self.nbytes / 1e6
+        pools = ", ".join(
+            f"{name}={len(getattr(self, name))}" for name in _POOL_FIELDS
+        )
+        return f"FlowFrame(flows={len(self):,}, nbytes={mb:.1f} MB, {pools})"
+
     # -- selection -----------------------------------------------------
 
     def filter(self, mask: np.ndarray) -> "FlowFrame":
@@ -210,6 +237,59 @@ class FlowFrame:
         return cls(**pools, **columns)
 
     # -- construction -------------------------------------------------------
+
+    #: Documented column dtypes (see the field comments above) — the
+    #: contract every construction path normalizes to.
+    COLUMN_DTYPES = {
+        "ts_start": np.float64,
+        "day": np.int32,
+        "hour_utc": np.float32,
+        "customer_id": np.int32,
+        "country_idx": np.int16,
+        "subscriber_type": np.int8,
+        "beam_idx": np.int16,
+        "l7_idx": np.int8,
+        "service_true_idx": np.int16,
+        "domain_idx": np.int32,
+        "bytes_up": np.float64,
+        "bytes_down": np.float64,
+        "duration_s": np.float32,
+        "sat_rtt_ms": np.float32,
+        "ground_rtt_ms": np.float32,
+        "resolver_idx": np.int16,
+        "dns_response_ms": np.float32,
+        "site_idx": np.int16,
+        "plan_down_mbps": np.float32,
+    }
+
+    @classmethod
+    def empty(
+        cls,
+        countries: Sequence[str] = (),
+        beams: Sequence[str] = (),
+        services: Sequence[str] = (),
+        domains: Sequence[str] = (),
+        sites: Sequence[str] = (),
+        resolvers: Sequence[str] = (),
+    ) -> "FlowFrame":
+        """A zero-row frame with the documented dtypes and given pools.
+
+        Streaming captures use this for windows in which no customer
+        produced a flow, so every stored window round-trips uniformly.
+        """
+        columns = {
+            name: np.empty(0, dtype=dtype)
+            for name, dtype in cls.COLUMN_DTYPES.items()
+        }
+        return cls(
+            countries=list(countries),
+            beams=list(beams),
+            services=list(services),
+            domains=list(domains),
+            sites=list(sites),
+            resolvers=list(resolvers),
+            **columns,
+        )
 
     @classmethod
     def concat(cls, frames: Sequence["FlowFrame"]) -> "FlowFrame":

@@ -46,6 +46,26 @@ def compute(frame: FlowFrame) -> Fig2Result:
     return Fig2Result(rows=country_breakdown(frame))
 
 
+def from_rollup(rollup) -> Fig2Result:
+    """Figure 2 from a :class:`~repro.stream.StreamRollup` — exact
+    (volume and distinct-customer counters are lossless sketches)."""
+    volume = rollup.volume_c()
+    customers = rollup.customers_c()
+    total_volume = volume.sum()
+    total_customers = customers.sum()
+    rows = [
+        (
+            country,
+            float(volume[i] / total_volume * 100.0),
+            float(customers[i] / total_customers * 100.0),
+        )
+        for i, country in enumerate(rollup.countries)
+        if rollup.flows_c[i] > 0
+    ]
+    rows.sort(key=lambda row: -row[1])
+    return Fig2Result(rows=rows)
+
+
 def mean_daily_download_mb(frame: FlowFrame, country: str) -> float:
     """Average download volume per customer-day (paper: Congo ≈600 MB,
     Spain ≈170 MB)."""

@@ -36,6 +36,27 @@ def compute(frame: FlowFrame, top: int = 10) -> Fig3Result:
     return Fig3Result(shares=shares)
 
 
+def from_rollup(rollup, top: int = 10) -> Fig3Result:
+    """Figure 3 from a :class:`~repro.stream.StreamRollup` — exact,
+    read off the (country, l7, hour) volume matrix."""
+    from repro.flowmeter.records import L7_ORDER
+
+    volume = rollup.volume_c()
+    order = sorted(
+        (i for i in range(len(rollup.countries)) if rollup.flows_c[i] > 0),
+        key=lambda i: -volume[i],
+    )[:top]
+    shares: Dict[str, Dict[str, float]] = {}
+    for i in order:
+        by_l7 = rollup.vol_clh[i].sum(axis=1)
+        total = by_l7.sum()
+        shares[rollup.countries[i]] = {
+            label.value: float(by_l7[j] / total * 100.0) if total > 0 else 0.0
+            for j, label in enumerate(L7_ORDER)
+        }
+    return Fig3Result(shares=shares)
+
+
 def render(result: Fig3Result) -> str:
     labels = ["tcp/https", "tcp/http", "tcp/other", "udp/quic", "udp/rtp", "udp/other"]
     rows: List[List[str]] = []

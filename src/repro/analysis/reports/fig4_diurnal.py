@@ -43,6 +43,20 @@ def compute(frame: FlowFrame, countries: Sequence[str] = TOP_COUNTRIES) -> Fig4R
     )
 
 
+def from_rollup(rollup, countries: Sequence[str] = TOP_COUNTRIES) -> Fig4Result:
+    """Figure 4 from a :class:`~repro.stream.StreamRollup`.
+
+    Uses the per-(day, hour) volume matrices: the median across days
+    damps single binge days like the frame path's robust curve, minus
+    the per-flow winsorization (which needs raw flow sizes).
+    """
+    return Fig4Result(
+        curves={
+            country: rollup.hourly_day_median(country) for country in countries
+        }
+    )
+
+
 def render(result: Fig4Result) -> str:
     from repro.analysis.plotting import sparkline
 

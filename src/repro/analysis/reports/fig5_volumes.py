@@ -61,6 +61,44 @@ class Fig5Result:
         return float(np.median(self.flow_counts[country]))
 
 
+@dataclass
+class Fig5RollupView:
+    """Figure 5 headline stats served from rollup sketches.
+
+    Mirrors :class:`Fig5Result`'s query surface (so :func:`render`
+    accepts either): the idle fraction is exact (a dedicated counter),
+    the heavy-hitter fractions are exact at the 1/10 GB thresholds
+    (decade bin edges), and medians interpolate inside a histogram bin.
+    """
+
+    rollup: object
+    flow_counts: Dict[str, int]  # country -> rollup row (render iterates keys)
+
+    def idle_fraction(self, country: str) -> float:
+        row = self.flow_counts[country]
+        total = self.rollup.cd_total_c[row]
+        return float(self.rollup.cd_idle_c[row] / total) if total else float("nan")
+
+    def heavy_downloader_pct(self, country: str, threshold_gb: float = 10.0) -> float:
+        row = self.flow_counts[country]
+        return self.rollup.h5_down.ccdf_at(row, threshold_gb * BYTES_PER_GB) * 100.0
+
+    def heavy_uploader_pct(self, country: str, threshold_gb: float = 1.0) -> float:
+        row = self.flow_counts[country]
+        return self.rollup.h5_up.ccdf_at(row, threshold_gb * BYTES_PER_GB) * 100.0
+
+    def median_flows(self, country: str) -> float:
+        return self.rollup.h5_flows.quantile(self.flow_counts[country], 0.5)
+
+
+def from_rollup(rollup, countries: Sequence[str] = TOP_COUNTRIES) -> Fig5RollupView:
+    """Figure 5 from a :class:`~repro.stream.StreamRollup`."""
+    return Fig5RollupView(
+        rollup=rollup,
+        flow_counts={c: rollup.country_row(c) for c in countries},
+    )
+
+
 def compute(frame: FlowFrame, countries: Sequence[str] = TOP_COUNTRIES) -> Fig5Result:
     """Customer-day distributions for the requested countries."""
     return Fig5Result(

@@ -13,7 +13,7 @@ Congo and Ireland sit high regardless of utilization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,52 @@ class Fig8bResult:
     """Per-beam (median sat RTT ms, normalized utilization, country)."""
 
     rows: List[Tuple[str, str, float, float]]  # (beam, country, median, util)
+
+
+@dataclass
+class Fig8aRollupView:
+    """Figure 8a stats served from per-country night/peak histograms.
+
+    Same query surface as :class:`Fig8aResult`; quantiles and CDF
+    fractions interpolate inside a 25 ms bin, and the per-country
+    minimum is tracked exactly. ``samples`` maps country → period →
+    the backing :class:`~repro.stream.HistFamily` row, so ``render``
+    can iterate countries the same way.
+    """
+
+    rollup: object
+    samples: Dict[str, Dict[str, int]]  # country -> period -> rollup row
+
+    def _hist(self, period: str):
+        return self.rollup.h8_night if period == "night" else self.rollup.h8_peak
+
+    def quartiles_ms(self, country: str, period: str) -> np.ndarray:
+        return self._hist(period).quantiles(self.samples[country][period])
+
+    def fraction_under(self, country: str, period: str, ms: float) -> float:
+        return self._hist(period).cdf_at(self.samples[country][period], ms)
+
+    def fraction_over(self, country: str, period: str, ms: float) -> float:
+        return 1.0 - self.fraction_under(country, period, ms)
+
+    def minimum_ms(self, country: str) -> float:
+        value = self.rollup.sat_min_c[self.rollup.country_row(country)]
+        return float(value) if np.isfinite(value) else float("nan")
+
+
+def from_rollup(rollup, countries: Sequence[str] = TOP_COUNTRIES) -> Fig8aRollupView:
+    """Figure 8a from a :class:`~repro.stream.StreamRollup`.
+
+    8b is frame-only: per-beam medians need the beam axis, which the
+    rollup deliberately does not sketch (see DESIGN.md §8).
+    """
+    return Fig8aRollupView(
+        rollup=rollup,
+        samples={
+            c: {"night": rollup.country_row(c), "peak": rollup.country_row(c)}
+            for c in countries
+        },
+    )
 
 
 def compute_fig8a(
@@ -122,7 +168,7 @@ def compute_fig8b(
     return Fig8bResult(rows=rows)
 
 
-def render(result_a: Fig8aResult, result_b: Fig8bResult) -> str:
+def render(result_a: Fig8aResult, result_b: Optional[Fig8bResult] = None) -> str:
     rows = []
     for country, periods in result_a.samples.items():
         for period in ("night", "peak"):
@@ -142,6 +188,8 @@ def render(result_a: Fig8aResult, result_b: Fig8bResult) -> str:
         rows,
         title="Figure 8a: satellite RTT night vs peak",
     )
+    if result_b is None:
+        return part_a
     part_b = format_table(
         ["Beam", "Country", "Median ms", "Norm. util"],
         [(b, c, f"{m:.0f}", f"{u:.2f}") for b, c, m, u in result_b.rows],

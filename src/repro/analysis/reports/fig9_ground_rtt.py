@@ -43,6 +43,50 @@ class Fig9Result:
         return 1.0 - self.fraction_below(country, ms)
 
 
+@dataclass
+class Fig9RollupView:
+    """Figure 9 stats served from per-country ground-RTT histograms.
+
+    Same query surface as :class:`Fig9Result`; the flow-count and
+    volume-weighted histograms share edges, so both kinds of fraction
+    interpolate inside the same sub-decade log bins. ``samples`` maps
+    country → rollup row so :func:`render` can iterate countries.
+    """
+
+    rollup: object
+    samples: Dict[str, int]  # country -> rollup row (render iterates keys)
+    volume_weighted_share_below: Dict[str, Dict[float, float]]
+
+    def median_ms(self, country: str) -> float:
+        return self.rollup.h9_cnt.quantile(self.samples[country], 0.5)
+
+    def fraction_below(self, country: str, ms: float) -> float:
+        return self.rollup.h9_cnt.cdf_at(self.samples[country], ms)
+
+    def fraction_above(self, country: str, ms: float) -> float:
+        return 1.0 - self.fraction_below(country, ms)
+
+
+def from_rollup(
+    rollup,
+    countries: Sequence[str] = TOP_COUNTRIES,
+    thresholds=(15.0, 40.0, 120.0, 250.0),
+) -> Fig9RollupView:
+    """Figure 9 from a :class:`~repro.stream.StreamRollup`."""
+    weighted = {
+        country: {
+            threshold: rollup.h9_vol.cdf_at(rollup.country_row(country), threshold)
+            for threshold in thresholds
+        }
+        for country in countries
+    }
+    return Fig9RollupView(
+        rollup=rollup,
+        samples={c: rollup.country_row(c) for c in countries},
+        volume_weighted_share_below=weighted,
+    )
+
+
 def compute(
     frame: FlowFrame,
     countries: Sequence[str] = TOP_COUNTRIES,

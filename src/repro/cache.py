@@ -56,6 +56,27 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def stream_capture_key(config: "WorkloadConfig", window_days: int) -> str:
+    """Hex digest identifying a *streaming* capture directory.
+
+    Streaming captures sample per (shard, window) RNG streams, so the
+    window plan is content the way ``n_shards`` is: the same workload
+    config cut into different windows yields different flows. The key
+    therefore extends :func:`config_cache_key` with the window length
+    (and a stream schema salt), and is what checkpoint/resume verifies
+    before continuing a half-written capture directory.
+    """
+    blob = json.dumps(
+        {
+            "capture": config_cache_key(config),
+            "window_days": int(window_days),
+            "stream_salt": "repro-stream-v1",
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
 def config_cache_key(config: "WorkloadConfig") -> str:
     """Hex digest identifying the capture ``config`` generates."""
     payload = {"salt": CACHE_SALT}

@@ -2,12 +2,18 @@
 
     python -m repro generate  --customers 600 --days 5 --out capture.npz \
                               [--workers 4] [--cache [--cache-dir DIR]]
+    python -m repro stream    --customers 600 --days 30 --dir capture/ \
+                              [--window-days 1] [--resume]
+    python -m repro stream-report --dir capture/ --which fig2,fig5
     python -m repro report    --dataset capture.npz --which table1,fig2
     python -m repro scorecard --dataset capture.npz
     python -m repro packet-sim
     python -m repro errant    --dataset capture.npz --country Spain --netem
 
-``generate`` synthesizes a capture; ``report`` regenerates the
+``generate`` synthesizes a capture; ``stream`` runs the bounded-memory
+windowed capture pipeline (checkpointed, resumable) and
+``stream-report`` renders figures straight from its rollup sketches
+without loading the flows back; ``report`` regenerates the
 requested tables/figures; ``scorecard`` prints the calibration
 scorecard; ``packet-sim`` runs the Figure 1 packet-level validation;
 ``errant`` fits and compares access-link profiles.
@@ -39,11 +45,22 @@ _REPORTS = (
 )
 
 
-def _nonnegative_int(value: str) -> int:
-    parsed = int(value)
-    if parsed < 0:
+_STREAM_REPORTS = ("fig2", "fig3", "fig4", "fig5", "fig8", "fig9")
+
+
+def _worker_count(value: str) -> int:
+    """Positive worker count, or ``auto`` for one per core."""
+    if value.strip().lower() == "auto":
+        return 0  # WorkloadConfig.n_workers: 0 = one per core
+    try:
+        parsed = int(value)
+    except ValueError:
         raise argparse.ArgumentTypeError(
-            f"must be >= 0 (0 = one worker per core), got {parsed}"
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1 (or 'auto' for one per core), got {parsed}"
         )
     return parsed
 
@@ -62,10 +79,10 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", default="capture.npz")
     gen.add_argument(
         "--workers",
-        type=_nonnegative_int,
+        type=_worker_count,
         default=1,
-        help="worker processes (0 = one per core); output is identical "
-        "for any worker count",
+        help="worker processes (a positive integer, or 'auto' for one "
+        "per core); output is identical for any worker count",
     )
     gen.add_argument(
         "--cache",
@@ -78,6 +95,56 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache directory (implies --cache; default $REPRO_CACHE_DIR "
         "or ~/.cache/repro)",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a bounded-memory streaming capture into a directory",
+    )
+    stream.add_argument("--customers", type=int, default=600)
+    stream.add_argument("--days", type=int, default=5)
+    stream.add_argument("--seed", type=int, default=2022)
+    stream.add_argument(
+        "--window-days",
+        type=int,
+        default=1,
+        help="simulated days per window (part of the capture key)",
+    )
+    stream.add_argument("--dir", required=True, help="capture directory")
+    stream.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes (a positive integer, or 'auto' for one "
+        "per core); output is identical for any worker count",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted capture from its checkpoint",
+    )
+    stream.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        help="stop after N windows (checkpoint stays resumable)",
+    )
+    stream.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="spill raw npz windows (faster, ~3x more disk)",
+    )
+
+    stream_rep = sub.add_parser(
+        "stream-report",
+        help="render figures from a capture directory's rollups "
+        "(no full-frame load)",
+    )
+    stream_rep.add_argument("--dir", required=True, help="capture directory")
+    stream_rep.add_argument(
+        "--which",
+        default="all",
+        help=f"comma list from {{{','.join(_STREAM_REPORTS)}}} or 'all'",
     )
 
     rep = sub.add_parser("report", help="regenerate tables/figures")
@@ -128,6 +195,94 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"{len(generator.population)} customers, {args.days} days "
         f"({elapsed:.1f} s with {args.workers or 'auto'} worker(s))"
     )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import StreamConfig, render_telemetry, run_stream_capture
+
+    config = StreamConfig(
+        workload=WorkloadConfig(
+            n_customers=args.customers,
+            days=args.days,
+            seed=args.seed,
+            n_workers=args.workers,
+        ),
+        window_days=args.window_days,
+        compress=not args.no_compress,
+    )
+    result = run_stream_capture(
+        config,
+        args.dir,
+        resume=args.resume,
+        max_windows=args.max_windows,
+        on_window=lambda t: print(
+            f"window {t.window}: days [{t.day_lo},{t.day_hi}) "
+            f"{t.flows:,} flows in {t.gen_seconds + t.fold_seconds:.1f} s",
+            file=sys.stderr,
+        ),
+    )
+    print(render_telemetry(result.telemetry))
+    done = result.checkpoint.windows_done
+    state = "complete" if result.complete else f"resumable with --resume --dir {args.dir}"
+    print(
+        f"capture {result.store.capture_key}: {done}/{result.checkpoint.n_windows} "
+        f"windows in {args.dir} ({state})"
+    )
+    return 0
+
+
+def _render_stream_report(name: str, rollup) -> str:
+    from repro.analysis import reports
+
+    if name == "fig2":
+        return reports.fig2_country.render(reports.fig2_country.from_rollup(rollup))
+    if name == "fig3":
+        return reports.fig3_protocol_country.render(
+            reports.fig3_protocol_country.from_rollup(rollup)
+        )
+    if name == "fig4":
+        return reports.fig4_diurnal.render(reports.fig4_diurnal.from_rollup(rollup))
+    if name == "fig5":
+        return reports.fig5_volumes.render(reports.fig5_volumes.from_rollup(rollup))
+    if name == "fig8":
+        return reports.fig8_satellite_rtt.render(
+            reports.fig8_satellite_rtt.from_rollup(rollup)
+        )
+    if name == "fig9":
+        return reports.fig9_ground_rtt.render(
+            reports.fig9_ground_rtt.from_rollup(rollup)
+        )
+    raise ValueError(f"unknown stream report {name!r}")
+
+
+def _cmd_stream_report(args: argparse.Namespace) -> int:
+    from repro.stream import StreamRollup, load_checkpoint, rollup_path
+
+    checkpoint = load_checkpoint(args.dir)
+    if checkpoint is None:
+        print(f"no capture checkpoint in {args.dir}", file=sys.stderr)
+        return 2
+    if not checkpoint.complete:
+        print(
+            f"note: capture is partial ({checkpoint.windows_done}/"
+            f"{checkpoint.n_windows} windows); figures cover the folded "
+            "windows only",
+            file=sys.stderr,
+        )
+    rollup = StreamRollup.load(rollup_path(args.dir))
+    names = list(_STREAM_REPORTS) if args.which == "all" else args.which.split(",")
+    for name in names:
+        name = name.strip()
+        if name not in _STREAM_REPORTS:
+            print(
+                f"unknown stream report {name!r}; choose from "
+                f"{', '.join(_STREAM_REPORTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(_render_stream_report(name, rollup))
+        print()
     return 0
 
 
@@ -255,6 +410,8 @@ def _cmd_mixed_sim(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "stream": _cmd_stream,
+    "stream-report": _cmd_stream_report,
     "report": _cmd_report,
     "scorecard": _cmd_scorecard,
     "packet-sim": _cmd_packet_sim,

@@ -25,7 +25,9 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.dataset import FlowFrame
@@ -152,3 +154,78 @@ def generate_shards(
         finally:
             _WORKER_GENERATOR = None
     return [generator.generate_shard(shard) for shard in shards]
+
+
+# -- streaming windows -------------------------------------------------------
+
+
+def spawn_window_seed(
+    seed: int, shard: ShardSpec, n_windows: int, window_index: int
+) -> np.random.SeedSequence:
+    """The RNG stream of one (shard, window) cell of a streaming capture.
+
+    Derived in two spawn levels — shard first, then window — so the
+    stream is a pure function of ``(seed, n_shards, shard index,
+    n_windows, window index)``: any subset of windows can be
+    (re)generated in any order, by any process, and sample the same
+    flows. This is what makes checkpoint/resume bit-identical (see
+    :mod:`repro.stream.checkpoint`).
+    """
+    shard_seq = np.random.SeedSequence(seed).spawn(shard.n_shards)[shard.index]
+    return shard_seq.spawn(n_windows)[window_index]
+
+
+# (generator, n_windows, window_index, day_lo, day_hi) read by forked
+# window workers, mirroring _WORKER_GENERATOR above.
+_WORKER_WINDOW: Optional[Tuple["WorkloadGenerator", int, int, int, int]] = None
+
+
+def _run_window_shard(shard: ShardSpec) -> Optional["FlowFrame"]:
+    assert _WORKER_WINDOW is not None, "worker started without window context"
+    generator, n_windows, window_index, day_lo, day_hi = _WORKER_WINDOW
+    rng = np.random.default_rng(
+        spawn_window_seed(generator.config.seed, shard, n_windows, window_index)
+    )
+    return generator.generate_shard_days(shard, day_lo, day_hi, rng)
+
+
+def generate_window_shards(
+    generator: "WorkloadGenerator",
+    shards: Sequence[ShardSpec],
+    n_windows: int,
+    window_index: int,
+    day_lo: int,
+    day_hi: int,
+    n_workers: int,
+) -> List[Optional["FlowFrame"]]:
+    """Generate every shard of one time window, in shard order.
+
+    The streaming counterpart of :func:`generate_shards`: same fork
+    pool, same in-process fallback, same contract that ``n_workers``
+    never changes a byte of the output.
+    """
+    global _WORKER_WINDOW
+    n_workers = min(n_workers, len(shards))
+    context_value = (generator, n_windows, window_index, day_lo, day_hi)
+    if n_workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        _WORKER_WINDOW = context_value
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=context
+            ) as pool:
+                return list(pool.map(_run_window_shard, shards))
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            warnings.warn(
+                f"parallel window generation unavailable ({exc}); falling "
+                "back to in-process execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        finally:
+            _WORKER_WINDOW = None
+    _WORKER_WINDOW = context_value
+    try:
+        return [_run_window_shard(shard) for shard in shards]
+    finally:
+        _WORKER_WINDOW = None

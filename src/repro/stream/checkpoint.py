@@ -1,0 +1,112 @@
+"""Checkpoint/resume for streaming captures.
+
+After every window the producer commits three artifacts, in order:
+
+1. the window's npz shard file (``store.py``, atomic),
+2. the folded rollup state (``rollup.npz``, atomic),
+3. ``checkpoint.json`` — the *commit point*: next window index, the
+   capture's content key, the rollup digest, and per-window telemetry.
+
+A kill between any two steps is safe: on resume, everything at or
+beyond ``windows_done`` is regenerated and atomically overwritten,
+and everything before it is trusted because the checkpoint that
+covered it only ever published after its window and rollup landed.
+
+Resume is *bit-identical* to an uninterrupted run because each
+(shard, window) cell draws from its own
+``SeedSequence``-derived stream (:func:`repro.parallel.spawn_window_seed`)
+— regenerating window *k* needs no RNG state from windows ``< k`` —
+and because the rollup folds windows in index order with associative
+merges, so "load saved state, keep folding" reproduces the exact
+float-addition order of the one-shot run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+#: Bump on layout changes (refuse, never mis-resume).
+CHECKPOINT_SCHEMA = 1
+
+_CHECKPOINT = "checkpoint.json"
+ROLLUP_FILE = "rollup.npz"
+
+
+@dataclass
+class WindowTelemetry:
+    """Per-window counters printed by the ``repro stream`` summary."""
+
+    window: int
+    day_lo: int
+    day_hi: int
+    flows: int
+    gen_seconds: float
+    fold_seconds: float
+    bytes_spilled: int
+    peak_rss_mb: float
+
+    @property
+    def flows_per_s(self) -> float:
+        busy = self.gen_seconds + self.fold_seconds
+        return self.flows / busy if busy > 0 else float("nan")
+
+
+@dataclass
+class Checkpoint:
+    """The resume cursor of a capture directory."""
+
+    capture_key: str
+    n_windows: int
+    windows_done: int
+    rollup_digest: str
+    telemetry: List[WindowTelemetry] = field(default_factory=list)
+    schema: int = CHECKPOINT_SCHEMA
+
+    @property
+    def complete(self) -> bool:
+        return self.windows_done >= self.n_windows
+
+
+def checkpoint_path(directory: Union[str, Path]) -> Path:
+    return Path(directory) / _CHECKPOINT
+
+
+def rollup_path(directory: Union[str, Path]) -> Path:
+    return Path(directory) / ROLLUP_FILE
+
+
+def write_checkpoint(directory: Union[str, Path], checkpoint: Checkpoint) -> None:
+    """Atomically publish ``checkpoint`` as the directory's cursor."""
+    path = checkpoint_path(directory)
+    payload = asdict(checkpoint)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(directory: Union[str, Path]) -> Optional[Checkpoint]:
+    """The directory's checkpoint, or ``None`` if none was committed."""
+    path = checkpoint_path(directory)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"checkpoint schema {payload.get('schema')} != {CHECKPOINT_SCHEMA}"
+        )
+    telemetry = [WindowTelemetry(**row) for row in payload.pop("telemetry", [])]
+    payload.pop("schema", None)
+    return Checkpoint(telemetry=telemetry, **payload)

@@ -1,0 +1,266 @@
+"""Windowed producer: the generator, one simulated time window at a time.
+
+The paper's Tstat probe never sees "the capture" — it sees a continuous
+packet stream and periodically ships aggregated views. This module
+gives the synthetic generator the same shape: the capture's day range
+is cut into fixed-length windows, each (shard, window) cell samples
+from its own ``SeedSequence``-derived RNG stream
+(:func:`repro.parallel.spawn_window_seed`), and the orchestrator folds
+every window into mergeable rollups and spills it to disk before
+moving on — peak memory holds one window, never the capture.
+
+Note the sampling plan differs from the one-shot generator (which
+draws all days of a shard from a single stream), so a streamed capture
+is statistically equivalent but not byte-equal to
+``WorkloadGenerator.generate()`` — ``window_days`` is *content*, part
+of :func:`repro.cache.stream_capture_key`. What *is* byte-equal, by
+construction, is any two streaming runs of the same config — including
+a killed-and-resumed one (see :mod:`repro.stream.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.dataset import FlowFrame
+from repro.cache import stream_capture_key
+from repro.parallel import generate_window_shards, resolve_workers
+from repro.stream.checkpoint import (
+    Checkpoint,
+    WindowTelemetry,
+    load_checkpoint,
+    rollup_path,
+    write_checkpoint,
+)
+from repro.stream.rollup import StreamRollup
+from repro.stream.store import FlowStore, WindowEntry
+from repro.stream.telemetry import peak_rss_mb
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A half-open day range ``[day_lo, day_hi)`` of the capture."""
+
+    index: int
+    day_lo: int
+    day_hi: int
+
+    def __len__(self) -> int:
+        return self.day_hi - self.day_lo
+
+
+def plan_windows(days: int, window_days: int = 1) -> List[WindowSpec]:
+    """Cut ``days`` into day-aligned windows of ``window_days`` each.
+
+    Day alignment is load-bearing: the rollup's customer-day sketches
+    (Figure 5) are exact only when no (customer, day) pair straddles
+    two windows. The last window absorbs the remainder.
+    """
+    if days <= 0:
+        raise ValueError(f"need at least one day (got {days})")
+    if window_days <= 0:
+        raise ValueError(f"window_days must be >= 1 (got {window_days})")
+    windows: List[WindowSpec] = []
+    lo = 0
+    while lo < days:
+        hi = min(lo + window_days, days)
+        windows.append(WindowSpec(index=len(windows), day_lo=lo, day_hi=hi))
+        lo = hi
+    return windows
+
+
+@dataclass
+class StreamConfig:
+    """A streaming capture = a workload config + a window plan."""
+
+    workload: WorkloadConfig
+    window_days: int = 1
+    compress: bool = True
+    """Compress spilled windows (trade CPU for ~3x less disk)."""
+
+    def capture_key(self) -> str:
+        return stream_capture_key(self.workload, self.window_days)
+
+
+class WindowedProducer:
+    """Drives one :class:`WorkloadGenerator` window by window."""
+
+    def __init__(
+        self, generator: WorkloadGenerator, window_days: int = 1
+    ) -> None:
+        self.generator = generator
+        self.windows = plan_windows(generator.config.days, window_days)
+
+    def generate_window(
+        self, window: WindowSpec, n_workers: int = 1
+    ) -> FlowFrame:
+        """One window's flows, merged in shard order (never ``None`` —
+        a windowless window yields an empty frame with the pools)."""
+        shards = self.generator.shard_plan()
+        frames = [
+            frame
+            for frame in generate_window_shards(
+                self.generator,
+                shards,
+                len(self.windows),
+                window.index,
+                window.day_lo,
+                window.day_hi,
+                n_workers,
+            )
+            if frame is not None
+        ]
+        if not frames:
+            g = self.generator
+            return FlowFrame.empty(
+                countries=g.countries_pool,
+                beams=g.beams_pool,
+                services=g.services_pool,
+                domains=g.domains_pool,
+                sites=g.sites_pool,
+                resolvers=g.resolvers_pool,
+            )
+        if len(frames) == 1:
+            return frames[0]
+        return FlowFrame.concat(frames)
+
+    def iter_windows(
+        self, start: int = 0, n_workers: int = 1
+    ) -> Iterator[Tuple[WindowSpec, FlowFrame]]:
+        """Yield ``(window, frame)`` from window ``start`` onward."""
+        for window in self.windows[start:]:
+            yield window, self.generate_window(window, n_workers=n_workers)
+
+
+@dataclass
+class StreamResult:
+    """What a (possibly partial) streaming capture run produced."""
+
+    capture_dir: Path
+    rollup: StreamRollup
+    checkpoint: Checkpoint
+    store: FlowStore
+
+    @property
+    def complete(self) -> bool:
+        return self.checkpoint.complete
+
+    @property
+    def telemetry(self) -> List[WindowTelemetry]:
+        return self.checkpoint.telemetry
+
+
+def run_stream_capture(
+    config: StreamConfig,
+    capture_dir: Union[str, Path],
+    resume: bool = False,
+    max_windows: Optional[int] = None,
+    on_window: Optional[Callable[[WindowTelemetry], None]] = None,
+) -> StreamResult:
+    """Run (or continue) a streaming capture into ``capture_dir``.
+
+    Fresh runs initialize the directory; ``resume=True`` continues from
+    the last committed checkpoint (and is a no-op on a complete
+    capture). ``max_windows`` bounds how many windows *this call*
+    produces — the checkpoint stays resumable, which is how the tests
+    simulate a kill. ``on_window`` observes each window's telemetry as
+    it commits.
+    """
+    capture_dir = Path(capture_dir)
+    generator = WorkloadGenerator(config.workload)
+    producer = WindowedProducer(generator, config.window_days)
+    key = config.capture_key()
+    n_windows = len(producer.windows)
+    workers = resolve_workers(config.workload.n_workers)
+
+    existing = load_checkpoint(capture_dir) if resume else None
+    if resume and existing is None:
+        raise FileNotFoundError(
+            f"nothing to resume: no checkpoint in {capture_dir}"
+        )
+    if existing is not None:
+        if existing.capture_key != key:
+            raise ValueError(
+                "capture directory belongs to a different stream config "
+                f"(key {existing.capture_key} != {key})"
+            )
+        store = FlowStore.open(capture_dir)
+        rollup = StreamRollup.load(rollup_path(capture_dir))
+        if rollup.state_digest() != existing.rollup_digest:
+            raise ValueError(
+                "rollup state does not match the checkpoint digest — "
+                "the capture directory is corrupt; delete and regenerate"
+            )
+        checkpoint = existing
+    else:
+        if load_checkpoint(capture_dir) is not None and not resume:
+            raise FileExistsError(
+                f"{capture_dir} already holds a capture; pass resume=True "
+                "to continue it or choose a fresh directory"
+            )
+        store = FlowStore.create(
+            capture_dir,
+            pools={
+                "countries": generator.countries_pool,
+                "beams": generator.beams_pool,
+                "services": generator.services_pool,
+                "domains": generator.domains_pool,
+                "sites": generator.sites_pool,
+                "resolvers": generator.resolvers_pool,
+            },
+            windows=[
+                WindowEntry(w.index, w.day_lo, w.day_hi)
+                for w in producer.windows
+            ],
+            capture_key=key,
+            config=dataclasses.asdict(config.workload),
+            compress=config.compress,
+        )
+        rollup = StreamRollup(generator.countries_pool, generator.services_pool)
+        checkpoint = Checkpoint(
+            capture_key=key,
+            n_windows=n_windows,
+            windows_done=0,
+            rollup_digest=rollup.state_digest(),
+        )
+
+    produced = 0
+    for window in producer.windows[checkpoint.windows_done :]:
+        if max_windows is not None and produced >= max_windows:
+            break
+        t0 = time.perf_counter()
+        frame = producer.generate_window(window, n_workers=workers)
+        t1 = time.perf_counter()
+        spilled = store.write_window(window.index, frame)
+        rollup.update(frame)
+        rollup.save(rollup_path(capture_dir))
+        t2 = time.perf_counter()
+        telemetry = WindowTelemetry(
+            window=window.index,
+            day_lo=window.day_lo,
+            day_hi=window.day_hi,
+            flows=len(frame),
+            gen_seconds=t1 - t0,
+            fold_seconds=t2 - t1,
+            bytes_spilled=spilled,
+            peak_rss_mb=peak_rss_mb(),
+        )
+        checkpoint.windows_done = window.index + 1
+        checkpoint.rollup_digest = rollup.state_digest()
+        checkpoint.telemetry.append(telemetry)
+        write_checkpoint(capture_dir, checkpoint)
+        if on_window is not None:
+            on_window(telemetry)
+        produced += 1
+        del frame  # the whole point: at most one window resident
+
+    return StreamResult(
+        capture_dir=capture_dir, rollup=rollup, checkpoint=checkpoint, store=store
+    )

@@ -1,0 +1,217 @@
+"""Spill-to-disk flow store for streaming captures.
+
+A capture directory is the streaming analogue of the one-shot
+``capture.npz``: one compressed npz *shard file per window* under
+``windows/``, plus a small JSON ``manifest.json`` holding everything
+needed to interpret them (schema version, categorical pools, the
+window plan, the capture's content key). Windows are appended as the
+producer emits them and never rewritten after the checkpoint covering
+them commits; reads are lazy — iterate window by window, optionally
+projecting a subset of columns, without ever materializing the full
+capture.
+
+Layout::
+
+    capture-dir/
+      manifest.json          # schema, pools, windows, capture key
+      windows/
+        window-00000.npz     # columns of window 0 (pools live in the
+        window-00001.npz     #   manifest, not per shard file)
+        ...
+      rollup.npz             # mergeable rollup state (checkpoint.py)
+      checkpoint.json        # resume cursor + telemetry (checkpoint.py)
+
+All writes are atomic (temp file + ``os.replace``), so a killed
+capture never leaves a torn window or manifest behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.dataset import _ARRAY_FIELDS, _POOL_FIELDS, FlowFrame
+
+#: Bump on layout changes; old directories then refuse to resume
+#: instead of silently mixing schemas.
+STORE_SCHEMA = 1
+
+_MANIFEST = "manifest.json"
+_WINDOWS_DIR = "windows"
+
+
+def _atomic_write_bytes(path: Path, write_fn) -> int:
+    """Write via ``write_fn(handle)`` to a temp file, then publish."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write_fn(handle)
+        size = os.path.getsize(tmp_name)
+        os.replace(tmp_name, path)
+        return size
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class WindowEntry:
+    """One window's row in the manifest."""
+
+    index: int
+    day_lo: int
+    day_hi: int
+
+
+class FlowStore:
+    """Append-only windowed capture directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._manifest: Optional[dict] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        pools: Dict[str, List[str]],
+        windows: Sequence[WindowEntry],
+        capture_key: str,
+        config: dict,
+        compress: bool = True,
+    ) -> "FlowStore":
+        """Initialize a capture directory and publish its manifest."""
+        store = cls(directory)
+        manifest = {
+            "schema": STORE_SCHEMA,
+            "capture_key": capture_key,
+            "config": config,
+            "compress": bool(compress),
+            "pools": {name: list(pools[name]) for name in _POOL_FIELDS},
+            "windows": [
+                {"index": w.index, "day_lo": w.day_lo, "day_hi": w.day_hi}
+                for w in windows
+            ],
+        }
+        store.directory.mkdir(parents=True, exist_ok=True)
+        (store.directory / _WINDOWS_DIR).mkdir(exist_ok=True)
+        _atomic_write_bytes(
+            store.directory / _MANIFEST,
+            lambda h: h.write(json.dumps(manifest, indent=2).encode()),
+        )
+        store._manifest = manifest
+        return store
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "FlowStore":
+        """Open an existing capture directory (validates the schema)."""
+        store = cls(directory)
+        store.manifest  # force load + validation
+        return store
+
+    @property
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            path = self.directory / _MANIFEST
+            if not path.exists():
+                raise FileNotFoundError(f"no manifest at {path}")
+            manifest = json.loads(path.read_text())
+            if manifest.get("schema") != STORE_SCHEMA:
+                raise ValueError(
+                    f"capture dir schema {manifest.get('schema')} != {STORE_SCHEMA}"
+                )
+            self._manifest = manifest
+        return self._manifest
+
+    @property
+    def capture_key(self) -> str:
+        return self.manifest["capture_key"]
+
+    @property
+    def pools(self) -> Dict[str, List[str]]:
+        return self.manifest["pools"]
+
+    @property
+    def windows(self) -> List[WindowEntry]:
+        return [
+            WindowEntry(w["index"], w["day_lo"], w["day_hi"])
+            for w in self.manifest["windows"]
+        ]
+
+    def window_path(self, index: int) -> Path:
+        return self.directory / _WINDOWS_DIR / f"window-{index:05d}.npz"
+
+    # -- writes --------------------------------------------------------
+
+    def write_window(self, index: int, frame: FlowFrame) -> int:
+        """Atomically spill one window's columns; returns bytes written.
+
+        Pools are *not* stored per window — the manifest owns them, and
+        a mismatched frame is rejected here rather than read back wrong
+        later.
+        """
+        pools = self.pools
+        for name in _POOL_FIELDS:
+            if list(getattr(frame, name)) != pools[name]:
+                raise ValueError(f"window frame pool {name!r} differs from manifest")
+        writer = np.savez_compressed if self.manifest["compress"] else np.savez
+        columns = {name: getattr(frame, name) for name in _ARRAY_FIELDS}
+        return _atomic_write_bytes(
+            self.window_path(index), lambda h: writer(h, **columns)
+        )
+
+    # -- reads ---------------------------------------------------------
+
+    def read_window(
+        self, index: int, columns: Optional[Sequence[str]] = None
+    ) -> Union[FlowFrame, Dict[str, np.ndarray]]:
+        """Load one window — a full :class:`FlowFrame`, or just the
+        projected ``columns`` as a dict (npz members load lazily, so a
+        projection only decompresses what it asks for)."""
+        path = self.window_path(index)
+        with np.load(path, allow_pickle=False) as data:
+            if columns is not None:
+                unknown = set(columns) - set(_ARRAY_FIELDS)
+                if unknown:
+                    raise KeyError(f"unknown columns {sorted(unknown)}")
+                return {name: data[name] for name in columns}
+            loaded = {name: data[name] for name in _ARRAY_FIELDS}
+        return FlowFrame(**self.pools, **loaded)
+
+    def iter_windows(
+        self, columns: Optional[Sequence[str]] = None
+    ) -> Iterator[Tuple[int, Union[FlowFrame, Dict[str, np.ndarray]]]]:
+        """Lazily yield ``(index, window)`` for every *stored* window.
+
+        Windows not yet written (an interrupted capture) are skipped —
+        the checkpoint, not the directory listing, says what is final —
+        which is why the index rides along.
+        """
+        for entry in self.windows:
+            if self.window_path(entry.index).exists():
+                yield entry.index, self.read_window(entry.index, columns=columns)
+
+    def stored_window_count(self) -> int:
+        return sum(
+            1 for entry in self.windows if self.window_path(entry.index).exists()
+        )
+
+    def bytes_spilled(self) -> int:
+        """Total on-disk size of all stored window files."""
+        return sum(
+            self.window_path(entry.index).stat().st_size
+            for entry in self.windows
+            if self.window_path(entry.index).exists()
+        )

@@ -228,6 +228,28 @@ class WorkloadGenerator:
             shard.index
         ]
         rng = np.random.default_rng(seed)
+        return self.generate_shard_days(shard, 0, self.config.days, rng)
+
+    def generate_shard_days(
+        self,
+        shard: ShardSpec,
+        day_lo: int,
+        day_hi: int,
+        rng: np.random.Generator,
+    ) -> Optional[FlowFrame]:
+        """Generate one shard's flows for days ``[day_lo, day_hi)``.
+
+        The streaming producer (:mod:`repro.stream`) calls this once
+        per (shard, window) with a window-specific RNG stream; the
+        one-shot :meth:`generate_shard` is the ``[0, days)`` special
+        case, so its draws are byte-identical to the pre-streaming
+        generator.
+        """
+        if not 0 <= day_lo < day_hi <= self.config.days:
+            raise ValueError(
+                f"day window [{day_lo}, {day_hi}) outside capture "
+                f"[0, {self.config.days})"
+            )
         chunks: List[Dict[str, np.ndarray]] = []
         for country, cust_ids in sorted(self._country_customers.items()):
             shard_ids = cust_ids[(cust_ids >= shard.lo) & (cust_ids < shard.hi)]
@@ -236,13 +258,15 @@ class WorkloadGenerator:
             profile = country_profile(country)
             for svc_idx, (name, svc) in enumerate(SERVICES.items()):
                 chunk = self._generate_service_chunk(
-                    country, shard_ids, profile, svc_idx, svc, rng=rng
+                    country, shard_ids, profile, svc_idx, svc, rng=rng,
+                    day_lo=day_lo, day_hi=day_hi,
                 )
                 if chunk is not None:
                     chunks.append(chunk)
             if self.config.include_dns:
                 dns_chunk = self._generate_dns_chunk(
-                    country, shard_ids, profile, rng=rng
+                    country, shard_ids, profile, rng=rng,
+                    day_lo=day_lo, day_hi=day_hi,
                 )
                 if dns_chunk is not None:
                     chunks.append(dns_chunk)
@@ -273,13 +297,19 @@ class WorkloadGenerator:
         cust_ids: np.ndarray,
         probs: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        day_lo: int = 0,
+        day_hi: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """(customer, day) pairs on which the service is used."""
+        """(customer, day) pairs on which the service is used.
+
+        ``day_lo``/``day_hi`` bound the half-open day range sampled
+        (default: the whole capture). Day indices are absolute.
+        """
         rng = rng if rng is not None else self.rng
-        days = self.config.days
-        active = rng.random((len(cust_ids), days)) < probs[:, None]
+        day_hi = self.config.days if day_hi is None else day_hi
+        active = rng.random((len(cust_ids), day_hi - day_lo)) < probs[:, None]
         rows, day_idx = np.nonzero(active)
-        return cust_ids[rows], day_idx
+        return cust_ids[rows], day_idx + day_lo
 
     def _sample_hours(
         self, profile, n: int, rng: Optional[np.random.Generator] = None
@@ -302,12 +332,16 @@ class WorkloadGenerator:
         svc_idx: int,
         svc: Service,
         rng: Optional[np.random.Generator] = None,
+        day_lo: int = 0,
+        day_hi: Optional[int] = None,
     ) -> Optional[Dict[str, np.ndarray]]:
         rng = rng if rng is not None else self.rng
         probs = self.cust_use_prob[svc_idx, cust_ids]
         if not probs.any():
             return None
-        pair_cust, pair_day = self._activity_pairs(cust_ids, probs, rng=rng)
+        pair_cust, pair_day = self._activity_pairs(
+            cust_ids, probs, rng=rng, day_lo=day_lo, day_hi=day_hi
+        )
         if len(pair_cust) == 0:
             return None
 
@@ -465,9 +499,12 @@ class WorkloadGenerator:
         cust_ids: np.ndarray,
         profile,
         rng: Optional[np.random.Generator] = None,
+        day_lo: int = 0,
+        day_hi: Optional[int] = None,
     ) -> Optional[Dict[str, np.ndarray]]:
         rng = rng if rng is not None else self.rng
-        days = self.config.days
+        day_hi = self.config.days if day_hi is None else day_hi
+        days = day_hi - day_lo
         mean = (
             self.config.dns_flows_per_day
             * self.cust_flow_mult[cust_ids]
@@ -477,7 +514,7 @@ class WorkloadGenerator:
         if counts.sum() == 0:
             return None
         pair_cust = np.tile(cust_ids, days)
-        pair_day = np.repeat(np.arange(days), len(cust_ids))
+        pair_day = np.repeat(np.arange(day_lo, day_hi), len(cust_ids))
         flow_cust = np.repeat(pair_cust, counts)
         flow_day = np.repeat(pair_day, counts)
         total = len(flow_cust)

@@ -103,6 +103,26 @@ def test_cli_requires_command():
         main([])
 
 
+@pytest.mark.parametrize("command", ["generate", "stream"])
+@pytest.mark.parametrize("value", ["0", "-3", "2.5", "many"])
+def test_cli_rejects_bad_worker_counts(command, value, capsys):
+    argv = [command, "--workers", value]
+    if command == "stream":
+        argv += ["--dir", "unused"]
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2  # argparse usage error
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_cli_workers_accepts_auto_and_positive():
+    from repro.cli import _worker_count
+
+    assert _worker_count("auto") == 0  # 0 = one per core downstream
+    assert _worker_count("AUTO") == 0
+    assert _worker_count("4") == 4
+
+
 def test_cli_mixed_sim(capsys):
     code = main(["mixed-sim", "--n", "1"])
     assert code == 0

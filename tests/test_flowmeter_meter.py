@@ -87,6 +87,41 @@ def test_idle_timeout_expiry():
     assert len(meter.records) == 1
 
 
+def test_expire_emits_each_idle_flow_exactly_once():
+    meter = FlowMeter(idle_timeout_s=60.0)
+    meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.SYN, t=0.0))
+    meter.process(tcp(CLIENT, SERVER, 50001, 443, TCPFlags.SYN, t=10.0))
+    assert meter.active_flows == 2
+    assert meter.expire(now=61.0) == 1  # only the t=0 flow is idle
+    assert meter.active_flows == 1
+    assert len(meter.records) == 1
+    assert meter.records[0].client_port == 50000
+    assert meter.expire(now=61.0) == 0  # never emitted a second time
+    assert len(meter.records) == 1
+    assert meter.expire(now=71.0) == 1
+    assert meter.active_flows == 0
+    assert {r.client_port for r in meter.records} == {50000, 50001}
+
+
+def test_expire_keeps_recently_active_flows():
+    meter = FlowMeter(idle_timeout_s=60.0)
+    meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.SYN, t=0.0))
+    meter.process(
+        tcp(SERVER, CLIENT, 443, 50000, TCPFlags.SYN | TCPFlags.ACK, ack=1, t=59.0)
+    )
+    assert meter.expire(now=61.0) == 0  # the t=59 reply reset idleness
+    assert meter.active_flows == 1
+    assert meter.records == []
+
+
+def test_expired_flow_not_flushed_again():
+    meter = FlowMeter(idle_timeout_s=60.0)
+    meter.process(udp(CLIENT, 0x08080808, 40000, 53, dns.encode_query(1, "a.b"), 0.0))
+    assert meter.expire(now=200.0) == 1
+    meter.flush_all()  # must not re-emit the expired flow
+    assert len(meter.records) == 1
+
+
 def test_flush_all():
     meter = FlowMeter()
     meter.process(tcp(CLIENT, SERVER, 50000, 443, TCPFlags.SYN, t=0.0))

@@ -163,6 +163,30 @@ def test_cache_corrupt_entry_treated_as_miss(tmp_path):
     assert not path.exists()  # removed, not served
 
 
+def test_cache_truncated_entry_treated_as_miss(tmp_path):
+    """A torn write (valid zip magic, missing tail) must never be served."""
+    config = WorkloadConfig(**SMALL)
+    cache = CaptureCache(tmp_path)
+    generate_flow_dataset(config, cache=cache)
+    path = cache.path_for(config)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert cache.load(config) is None
+    assert not path.exists()  # evicted, not left to fail again
+
+
+def test_cache_corrupt_entry_repaired_on_next_write(tmp_path):
+    config = WorkloadConfig(**SMALL)
+    cache = CaptureCache(tmp_path)
+    fresh, _ = generate_flow_dataset(config, cache=cache)
+    cache.path_for(config).write_bytes(b"garbage")
+    regenerated, _ = generate_flow_dataset(config, cache=cache)
+    _assert_frames_identical(fresh, regenerated)
+    healthy = cache.load(config)  # the miss repopulated a healthy entry
+    assert healthy is not None
+    _assert_frames_identical(fresh, healthy)
+
+
 def test_cache_bypassed_for_custom_models(tmp_path):
     from repro.satcom.delay_model import SatelliteRttModel
 
