@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.classify import ServiceClassifier
-from repro.analysis.rollup import HourlyRollup
+from repro.stream.rollup import HourlyRollup
 from repro.flowmeter.meter import FlowMeter
 from repro.net.packet import IPProtocol, Packet, TCPFlags
 from repro.traffic.workload import WorkloadConfig, WorkloadGenerator

@@ -139,8 +139,11 @@ def dominant_resolver_per_customer(frame: FlowFrame) -> Dict[int, int]:
     for customer, resolver in zip(customers, resolvers):
         out.setdefault(int(customer), {}).setdefault(int(resolver), 0)
         out[int(customer)][int(resolver)] += 1
+    # Ties break to the lowest resolver index — deterministic, and the
+    # same rule the streamed Table 2 bank applies (argmax).
     return {
-        customer: max(counts, key=counts.get) for customer, counts in out.items()
+        customer: max(counts, key=lambda r: (counts[r], -r))
+        for customer, counts in out.items()
     }
 
 

@@ -126,15 +126,19 @@ class FlowFrame:
     # -- selection -----------------------------------------------------
 
     def filter(self, mask: np.ndarray) -> "FlowFrame":
-        """A new frame with rows where ``mask`` is True (pools shared)."""
+        """A new frame with rows where ``mask`` is True.
+
+        Pools are *copied* (same strings, fresh list objects): mutating
+        one frame's pool must never corrupt the frames derived from it.
+        """
         kwargs = {name: getattr(self, name)[mask] for name in _ARRAY_FIELDS}
         return FlowFrame(
-            countries=self.countries,
-            beams=self.beams,
-            services=self.services,
-            domains=self.domains,
-            sites=self.sites,
-            resolvers=self.resolvers,
+            countries=list(self.countries),
+            beams=list(self.beams),
+            services=list(self.services),
+            domains=list(self.domains),
+            sites=list(self.sites),
+            resolvers=list(self.resolvers),
             **kwargs,
         )
 
@@ -187,6 +191,8 @@ class FlowFrame:
         keys_customer = self.customer_id[mask]
         keys_day = self.day[mask]
         values = value[mask]
+        if len(values) == 0:  # reduceat rejects an empty segment list
+            return {}
         combined = keys_customer.astype(np.int64) * 100_000 + keys_day.astype(np.int64)
         order = np.argsort(combined, kind="stable")
         combined = combined[order]
@@ -227,13 +233,22 @@ class FlowFrame:
 
     @classmethod
     def load_npz(cls, path) -> "FlowFrame":
-        """Load a frame written by :meth:`save_npz`."""
+        """Load a frame written by :meth:`save_npz`.
+
+        Every column is coerced to :attr:`COLUMN_DTYPES` — captures
+        written before a dtype tightened (or by external tools) otherwise
+        propagate drifted dtypes silently into every downstream
+        aggregate.
+        """
         with np.load(path, allow_pickle=True) as data:
             pools = {
                 name: [str(x) for x in data[f"pool_{name}"]]
                 for name in _POOL_FIELDS
             }
-            columns = {name: data[name] for name in _ARRAY_FIELDS}
+            columns = {
+                name: data[name].astype(cls.COLUMN_DTYPES[name], copy=False)
+                for name in _ARRAY_FIELDS
+            }
         return cls(**pools, **columns)
 
     # -- construction -------------------------------------------------------
@@ -260,6 +275,31 @@ class FlowFrame:
         "dns_response_ms": np.float32,
         "site_idx": np.int16,
         "plan_down_mbps": np.float32,
+    }
+
+    #: Sentinel value per column for rows where the column was not
+    #: requested/measured — what a projected store materialization
+    #: backfills so unrequested columns stay well-typed.
+    COLUMN_FILL = {
+        "ts_start": 0.0,
+        "day": 0,
+        "hour_utc": 0.0,
+        "customer_id": 0,
+        "country_idx": -1,
+        "subscriber_type": -1,
+        "beam_idx": -1,
+        "l7_idx": 0,
+        "service_true_idx": -1,
+        "domain_idx": -1,
+        "bytes_up": 0.0,
+        "bytes_down": 0.0,
+        "duration_s": 0.0,
+        "sat_rtt_ms": np.nan,
+        "ground_rtt_ms": np.nan,
+        "resolver_idx": -1,
+        "dns_response_ms": np.nan,
+        "site_idx": -1,
+        "plan_down_mbps": np.nan,
     }
 
     @classmethod
@@ -308,12 +348,12 @@ class FlowFrame:
             for name in _ARRAY_FIELDS
         }
         return cls(
-            countries=first.countries,
-            beams=first.beams,
-            services=first.services,
-            domains=first.domains,
-            sites=first.sites,
-            resolvers=first.resolvers,
+            countries=list(first.countries),
+            beams=list(first.beams),
+            services=list(first.services),
+            domains=list(first.domains),
+            sites=list(first.sites),
+            resolvers=list(first.resolvers),
             **kwargs,
         )
 

@@ -9,7 +9,22 @@ domains appearing in the reproduction.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict, Optional, Set
+
+#: Domain groups of Table 2 (appendix tables add more second-level
+#: domains). Lives here — below both the report layer and the stream
+#: rollup — so the streamed Table 2 sketch and the frame path share one
+#: definition.
+TABLE2_DOMAIN_GROUPS: Dict[str, str] = {
+    "captive.apple.com": r"^captive\.apple\.com$",
+    "play.googleapis.com": r"^play\.googleapis\.com$",
+    "*.nflxvideo.net": r"nflxvideo\.net$",
+    "whatsapp.net": r"whatsapp\.net$",
+    "googlevideo.com": r"googlevideo\.com$",
+    "qq.com": r"qq\.com$",
+    "scooper.news": r"scooper\.news$",
+    "tiktokcdn.com": r"tiktokcdn\.com$",
+}
 
 #: Two-label public suffixes relevant to the generated domain space
 #: (compact subset of the public-suffix list — extend as needed).

@@ -135,3 +135,30 @@ def render(result: AppendixResult, country: str) -> str:
         rows,
         title=f"Appendix: mean ground RTT (ms) per domain and resolver — {country}",
     )
+
+
+def _render_all(result: AppendixResult) -> str:
+    """One appendix table per analyzed country."""
+    return "\n\n".join(
+        render(result, country) for country in result.top_domains
+    )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="appendix",
+    title="Ground RTT per second-level domain (appendix)",
+    module=__name__,
+    columns=(
+        "country_idx",
+        "customer_id",
+        "domain_idx",
+        "resolver_idx",
+        "ground_rtt_ms",
+        "bytes_up",
+        "bytes_down",
+    ),
+    compute_frame=compute,
+    render=_render_all,
+)

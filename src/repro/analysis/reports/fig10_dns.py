@@ -67,6 +67,29 @@ def compute(frame: FlowFrame, countries: Sequence[str] = TOP_COUNTRIES) -> Fig10
     return Fig10Result(shares_pct=shares, median_response_ms=medians)
 
 
+def from_rollup(rollup, countries: Sequence[str] = TOP_COUNTRIES) -> Fig10Result:
+    """Figure 10 from a :class:`~repro.stream.StreamRollup`.
+
+    Adoption shares are exact (integer DNS-flow counters per
+    (country, resolver)); the response-time medians interpolate inside
+    a sub-decade log histogram bin.
+    """
+    shares: Dict[str, Dict[str, float]] = {name: {} for name in rollup.resolvers}
+    medians: Dict[str, float] = {}
+    for country in countries:
+        row = rollup.country_row(country)
+        counts = rollup.dns_cr[row]
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        for r_idx, resolver in enumerate(rollup.resolvers):
+            shares[resolver][country] = int(counts[r_idx]) / total * 100.0
+    for r_idx, resolver in enumerate(rollup.resolvers):
+        if rollup.h10_resp.total(r_idx) > 0:
+            medians[resolver] = rollup.h10_resp.quantile(r_idx, 0.5)
+    return Fig10Result(shares_pct=shares, median_response_ms=medians)
+
+
 def render(result: Fig10Result) -> str:
     countries = sorted(
         {c for shares in result.shares_pct.values() for c in shares}
@@ -85,3 +108,16 @@ def render(result: Fig10Result) -> str:
         rows,
         title="Figure 10: resolver adoption (% of DNS flows) and response time",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig10",
+    title="Resolver adoption and response time",
+    module=__name__,
+    columns=("country_idx", "resolver_idx", "dns_response_ms"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+)

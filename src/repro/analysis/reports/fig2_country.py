@@ -89,3 +89,17 @@ def render(result: Fig2Result, top: int = 12) -> str:
         rows,
         title="Figure 2: per-country volume and customer share",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig2",
+    title="Per-country volume and customer share",
+    module=__name__,
+    columns=("country_idx", "customer_id", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+    exact_parity=True,
+)

@@ -67,3 +67,17 @@ def render(result: Fig3Result) -> str:
         rows,
         title="Figure 3: protocol volume share per country (%)",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig3",
+    title="Protocol share per country",
+    module=__name__,
+    columns=("country_idx", "l7_idx", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+    exact_parity=True,
+)

@@ -76,3 +76,16 @@ def render(result: Fig4Result) -> str:
         rows,
         title="Figure 4: diurnal pattern (volumes normalized per country)",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig4",
+    title="Diurnal traffic pattern",
+    module=__name__,
+    columns=("country_idx", "hour_utc", "day", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+)

@@ -129,3 +129,16 @@ def render(result: Fig5Result) -> str:
         rows,
         title="Figure 5: per-customer daily activity and volume",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig5",
+    title="Per-customer daily activity and volume",
+    module=__name__,
+    columns=("country_idx", "customer_id", "day", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+)

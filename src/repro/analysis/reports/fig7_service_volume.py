@@ -78,6 +78,32 @@ def compute(
     return Fig7Result(boxes=boxes)
 
 
+def from_rollup(
+    rollup, countries: Sequence[str] = TOP_COUNTRIES
+) -> Fig7Result:
+    """Figure 7 from a :class:`~repro.stream.StreamRollup`.
+
+    Customer-day category volumes are sketched as sub-decade log
+    histograms, so the box/whisker quantiles interpolate inside a bin
+    (counts and the boxplot shape are preserved; exact sample
+    quantiles are not).
+    """
+    hist = rollup.h7_volume
+    boxes: Dict[ServiceCategory, Dict[str, BoxplotStats]] = {c: {} for c in CATEGORIES}
+    for category in CATEGORIES:
+        for country in countries:
+            row = rollup.fig7_row(category, country)
+            n = int(round(hist.total(row)))
+            if n == 0:
+                boxes[category][country] = BoxplotStats(*([float("nan")] * 5), n=0)
+                continue
+            p5, q1, median, q3, p95 = (
+                hist.quantile(row, q) / 1e6 for q in (0.05, 0.25, 0.5, 0.75, 0.95)
+            )
+            boxes[category][country] = BoxplotStats(p5, q1, median, q3, p95, n)
+    return Fig7Result(boxes=boxes)
+
+
 def render(result: Fig7Result) -> str:
     countries = list(next(iter(result.boxes.values())).keys())
     rows = []
@@ -92,3 +118,16 @@ def render(result: Fig7Result) -> str:
         rows,
         title="Figure 7: median daily volume per customer using the category",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig7",
+    title="Daily volume per customer by category",
+    module=__name__,
+    columns=("country_idx", "customer_id", "day", "domain_idx", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+)

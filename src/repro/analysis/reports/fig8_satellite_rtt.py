@@ -196,3 +196,27 @@ def render(result_a: Fig8aResult, result_b: Optional[Fig8bResult] = None) -> str
         title="Figure 8b: per-beam median satellite RTT",
     )
     return part_a + "\n\n" + part_b
+
+
+def _compute_both(frame: FlowFrame) -> Tuple[Fig8aResult, Fig8bResult]:
+    """Frame path renders both panels; the rollup path serves 8a only."""
+    return compute_fig8a(frame), compute_fig8b(frame)
+
+
+def _render_either(result) -> str:
+    if isinstance(result, tuple):
+        return render(*result)
+    return render(result)
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig8",
+    title="Satellite RTT night vs peak (+ per-beam)",
+    module=__name__,
+    columns=("country_idx", "hour_utc", "beam_idx", "sat_rtt_ms", "bytes_up", "bytes_down"),
+    compute_frame=_compute_both,
+    compute_rollup=from_rollup,
+    render=_render_either,
+)

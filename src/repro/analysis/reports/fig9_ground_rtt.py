@@ -134,3 +134,16 @@ def render(result: Fig9Result) -> str:
         rows,
         title="Figure 9: ground RTT per country",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig9",
+    title="Ground RTT per country",
+    module=__name__,
+    columns=("country_idx", "l7_idx", "ground_rtt_ms", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+)

@@ -38,6 +38,23 @@ def compute(frame: FlowFrame) -> Table1Result:
     return Table1Result(shares=protocol_volume_share(frame))
 
 
+def from_rollup(rollup) -> Table1Result:
+    """Table 1 from a :class:`~repro.stream.StreamRollup` — exact
+    (the (country, l7, hour) volume matrix sums losslessly)."""
+    from repro.flowmeter.records import L7_ORDER
+
+    by_l7 = rollup.volume_by_l7()
+    total = by_l7.sum()
+    if total <= 0:
+        return Table1Result(shares={label.value: 0.0 for label in L7_ORDER})
+    return Table1Result(
+        shares={
+            label.value: float(by_l7[i] / total * 100.0)
+            for i, label in enumerate(L7_ORDER)
+        }
+    )
+
+
 def render(result: Table1Result) -> str:
     """Paper-vs-measured comparison table."""
     rows = [
@@ -47,3 +64,17 @@ def render(result: Table1Result) -> str:
     return format_table(
         ["Protocol", "Paper", "Measured"], rows, title="Table 1: protocol volume share"
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="table1",
+    title="Protocol volume breakdown",
+    module=__name__,
+    columns=("l7_idx", "bytes_up", "bytes_down"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+    exact_parity=True,
+)

@@ -22,20 +22,13 @@ import numpy as np
 
 from repro.analysis.aggregate import dominant_resolver_per_customer, format_table
 from repro.analysis.dataset import FlowFrame
+from repro.analysis.domains import TABLE2_DOMAIN_GROUPS
 from repro.traffic.profiles import TOP_COUNTRIES
 
 #: Domain groups of Table 2 (appendix tables add more second-level
-#: domains; the benchmark may pass its own list).
-DOMAIN_GROUPS: Dict[str, str] = {
-    "captive.apple.com": r"^captive\.apple\.com$",
-    "play.googleapis.com": r"^play\.googleapis\.com$",
-    "*.nflxvideo.net": r"nflxvideo\.net$",
-    "whatsapp.net": r"whatsapp\.net$",
-    "googlevideo.com": r"googlevideo\.com$",
-    "qq.com": r"qq\.com$",
-    "scooper.news": r"scooper\.news$",
-    "tiktokcdn.com": r"tiktokcdn\.com$",
-}
+#: domains; the benchmark may pass its own list). Shared with the
+#: streamed rollup sketch via :mod:`repro.analysis.domains`.
+DOMAIN_GROUPS: Dict[str, str] = TABLE2_DOMAIN_GROUPS
 
 #: Published examples (ms): (country, resolver, domain) → mean ground RTT.
 PAPER_EXAMPLES: Dict[Tuple[str, str, str], float] = {
@@ -103,8 +96,50 @@ def compute(
                 values = frame.ground_rtt_ms[r_mask & (flow_group == g_idx)]
                 if len(values) >= min_samples:
                     key = (country, resolver, group)
-                    means[key] = float(values.mean())
+                    # float64 mean: the streamed path accumulates f64
+                    # sums, and a f32 mean drifts from it
+                    means[key] = float(values.astype(np.float64).mean())
                     counts[key] = int(len(values))
+    return Table2Result(mean_rtt_ms=means, sample_counts=counts)
+
+
+def from_rollup(
+    rollup,
+    countries: Sequence[str] = ("UK", "Nigeria"),
+    min_samples: int = 5,
+) -> Table2Result:
+    """Table 2 from a :class:`~repro.stream.StreamRollup`.
+
+    The rollup keeps, per customer, DNS-flow counts per resolver and
+    ground-RTT (sum, count) per Table 2 domain group; the dominant-
+    resolver join then happens here, after merging — same rule as the
+    frame path (most DNS flows, ties to the lowest resolver index).
+    Only the built-in :data:`DOMAIN_GROUPS` are sketched.
+    """
+    group_names = rollup.t2_groups
+    nr, ng = len(rollup.resolvers), len(group_names)
+    means: Dict[Tuple[str, str, str], float] = {}
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for country in countries:
+        sums = np.zeros((nr, ng), dtype=np.float64)
+        cnts = np.zeros((nr, ng), dtype=np.float64)
+        for cid in rollup.customers_of(country):
+            bank = rollup.t2_bank(cid)
+            if bank is None:
+                continue
+            dns_counts, rtt_sum, rtt_cnt = bank
+            if dns_counts.sum() == 0:
+                continue
+            dominant = int(np.argmax(dns_counts))
+            sums[dominant] += rtt_sum
+            cnts[dominant] += rtt_cnt
+        for r_idx, resolver in enumerate(rollup.resolvers):
+            for g_idx, group in enumerate(group_names):
+                n = int(cnts[r_idx, g_idx])
+                if n >= min_samples:
+                    key = (country, resolver, group)
+                    means[key] = float(sums[r_idx, g_idx] / n)
+                    counts[key] = n
     return Table2Result(mean_rtt_ms=means, sample_counts=counts)
 
 
@@ -128,3 +163,17 @@ def render(result: Table2Result) -> str:
         rows,
         title="Table 2: mean ground RTT per domain and resolver",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="table2",
+    title="Ground RTT per domain and resolver",
+    module=__name__,
+    columns=("country_idx", "customer_id", "domain_idx", "resolver_idx", "ground_rtt_ms"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+    exact_parity=True,
+)

@@ -74,3 +74,15 @@ def render(result: WebQoeResult) -> str:
         rows,
         title="Extension: page-load time (30 objects × 60 kB, 6 connections)",
     )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="web-qoe",
+    title="Emulated page-load time (extension)",
+    module=__name__,
+    columns=("country_idx", "sat_rtt_ms", "ground_rtt_ms", "bytes_up", "bytes_down", "duration_s"),
+    compute_frame=compute,
+    render=render,
+)

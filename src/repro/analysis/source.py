@@ -1,0 +1,243 @@
+"""The ``FlowSource`` protocol — one handle over every capture shape.
+
+The paper computes every table and figure from one aggregation layer
+(Section 3.1); the reproduction grew three capture shapes — an
+in-memory :class:`~repro.analysis.dataset.FlowFrame`, a spilled
+:class:`~repro.stream.store.FlowStore` directory, and mergeable
+:class:`~repro.stream.rollup.StreamRollup` sketches. A
+:class:`FlowSource` wraps any of them behind two questions a report
+can ask:
+
+* :meth:`FlowSource.to_frame` — give me flows (optionally only the
+  *columns* I declared, so a spilled capture only decompresses what
+  the report reads);
+* :meth:`FlowSource.to_rollup` — give me the mergeable sketches.
+
+:func:`load_capture` is the single entry point the CLI uses: it
+auto-detects what a path holds (frame ``.npz``, capture directory,
+bare rollup state) and raises :class:`CaptureError` with a diagnosis
+— unknown path, bad manifest, truncated npz — instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import ClassVar, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.dataset import _ARRAY_FIELDS, _POOL_FIELDS, FlowFrame
+
+
+class CaptureError(Exception):
+    """A capture path could not be understood (message says why)."""
+
+
+class FlowSource:
+    """Abstract handle over one capture, whatever its on-disk shape."""
+
+    #: "frame" | "store" | "rollup" — what the source natively holds.
+    kind: ClassVar[str] = "?"
+
+    def to_frame(self, columns: Optional[Sequence[str]] = None) -> FlowFrame:
+        """Materialize flows (projected to ``columns`` when the backing
+        store supports it). Raises :class:`CaptureError` when flows are
+        not recoverable (a bare rollup)."""
+        raise NotImplementedError
+
+    def to_rollup(self):
+        """The capture's :class:`~repro.stream.StreamRollup` sketches
+        (folded on demand when not already materialized)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One human line for CLI diagnostics."""
+        raise NotImplementedError
+
+
+class FrameSource(FlowSource):
+    """A :class:`FlowFrame` already in memory (or loaded from ``.npz``)."""
+
+    kind = "frame"
+
+    def __init__(self, frame: FlowFrame, path: Optional[Path] = None) -> None:
+        self.frame = frame
+        self.path = path
+
+    def to_frame(self, columns: Optional[Sequence[str]] = None) -> FlowFrame:
+        # The frame is already resident — projection would save nothing.
+        return self.frame
+
+    def to_rollup(self):
+        from repro.stream.rollup import StreamRollup
+
+        return StreamRollup.for_frame(self.frame).update(self.frame)
+
+    def describe(self) -> str:
+        origin = f" from {self.path}" if self.path else ""
+        return f"frame{origin}: {len(self.frame):,} flows"
+
+
+class StoreSource(FlowSource):
+    """A spilled capture directory — lazy, column-projected reads."""
+
+    kind = "store"
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.directory = Path(store.directory)
+
+    def to_frame(self, columns: Optional[Sequence[str]] = None) -> FlowFrame:
+        """Concatenate the stored windows into one frame.
+
+        With ``columns``, only those npz members are decompressed; the
+        remaining columns are backfilled with their
+        :attr:`FlowFrame.COLUMN_FILL` sentinels so the result is a
+        well-typed frame that any report declaring those columns can
+        consume.
+        """
+        pools = {name: list(self.store.pools[name]) for name in _POOL_FIELDS}
+        if columns is not None:
+            unknown = set(columns) - set(_ARRAY_FIELDS)
+            if unknown:
+                raise KeyError(f"unknown columns {sorted(unknown)}")
+        frames: List[FlowFrame] = []
+        for _, window in self.store.iter_windows(columns=columns):
+            if columns is None:
+                frames.append(window)
+                continue
+            n = len(next(iter(window.values()))) if window else 0
+            full: Dict[str, np.ndarray] = {}
+            for name in _ARRAY_FIELDS:
+                dtype = FlowFrame.COLUMN_DTYPES[name]
+                if name in window:
+                    full[name] = window[name].astype(dtype, copy=False)
+                else:
+                    full[name] = np.full(n, FlowFrame.COLUMN_FILL[name], dtype=dtype)
+            frames.append(FlowFrame(**pools, **full))
+        if not frames:
+            return FlowFrame.empty(**pools)
+        if len(frames) == 1:
+            return frames[0]
+        return FlowFrame.concat(frames)
+
+    def to_rollup(self):
+        """The capture's rollup — the saved state when loadable at the
+        current schema, else re-folded from the stored windows."""
+        from repro.stream.checkpoint import rollup_path
+        from repro.stream.rollup import StreamRollup
+
+        saved = rollup_path(self.directory)
+        if saved.exists():
+            try:
+                return StreamRollup.load(saved)
+            except (ValueError, KeyError, OSError, zipfile.BadZipFile):
+                pass  # schema drift / truncation: fall back to folding
+        pools = self.store.pools
+        rollup = StreamRollup(
+            pools["countries"], pools["services"], pools["resolvers"]
+        )
+        for _, window in self.store.iter_windows():
+            rollup.update(window)
+        return rollup
+
+    def describe(self) -> str:
+        stored = self.store.stored_window_count()
+        return (
+            f"stream capture {self.directory}: {stored}/"
+            f"{len(self.store.windows)} windows stored"
+        )
+
+
+class RollupSource(FlowSource):
+    """Bare rollup sketches — aggregates only, no flows behind them."""
+
+    kind = "rollup"
+
+    def __init__(self, rollup, path: Optional[Path] = None) -> None:
+        self.rollup = rollup
+        self.path = path
+
+    def to_frame(self, columns: Optional[Sequence[str]] = None) -> FlowFrame:
+        raise CaptureError(
+            "rollup sketches cannot reconstruct flows; this report needs "
+            "a frame .npz or a stream capture directory"
+        )
+
+    def to_rollup(self):
+        return self.rollup
+
+    def describe(self) -> str:
+        origin = f" from {self.path}" if self.path else ""
+        return (
+            f"rollup{origin}: {self.rollup.flows_total:,} flows in "
+            f"{self.rollup.windows_folded} windows"
+        )
+
+
+def load_capture(path: Union[str, Path]) -> FlowSource:
+    """Open ``path`` as whatever capture shape it holds.
+
+    Accepts a frame ``.npz`` (written by :meth:`FlowFrame.save_npz`),
+    a stream capture directory (``manifest.json`` + windows), or a
+    bare rollup state ``.npz``. Raises :class:`CaptureError` with a
+    usable diagnosis for everything else.
+    """
+    from repro.stream.rollup import StreamRollup
+    from repro.stream.store import FlowStore
+
+    path = Path(path)
+    if not path.exists():
+        raise CaptureError(
+            f"no such capture: {path} (expected a frame .npz or a stream "
+            "capture directory)"
+        )
+    if path.is_dir():
+        if not (path / "manifest.json").exists():
+            raise CaptureError(
+                f"{path} is a directory without a manifest.json — not a "
+                "stream capture (did the capture run at all?)"
+            )
+        try:
+            store = FlowStore.open(path)
+        except json.JSONDecodeError as exc:
+            raise CaptureError(
+                f"bad capture manifest in {path}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise CaptureError(f"cannot open capture {path}: {exc}") from exc
+        return StoreSource(store)
+
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            members = set(data.files)
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise CaptureError(
+            f"cannot read {path}: {exc} (truncated download or not an npz?)"
+        ) from exc
+    if "pool_countries" in members:
+        missing = [
+            name
+            for name in _ARRAY_FIELDS
+            if name not in members
+        ]
+        if missing:
+            raise CaptureError(
+                f"{path} looks like a frame capture but lacks columns "
+                f"{missing} — truncated write?"
+            )
+        try:
+            return FrameSource(FlowFrame.load_npz(path), path=path)
+        except (ValueError, zipfile.BadZipFile) as exc:
+            raise CaptureError(f"cannot load frame {path}: {exc}") from exc
+    if "meta" in members:
+        try:
+            return RollupSource(StreamRollup.load(path), path=path)
+        except (ValueError, KeyError) as exc:
+            raise CaptureError(f"cannot load rollup {path}: {exc}") from exc
+    raise CaptureError(
+        f"{path} is an npz but neither a frame capture (no pool_* members) "
+        "nor a rollup state (no meta member)"
+    )

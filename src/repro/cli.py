@@ -17,6 +17,12 @@ without loading the flows back; ``report`` regenerates the
 requested tables/figures; ``scorecard`` prints the calibration
 scorecard; ``packet-sim`` runs the Figure 1 packet-level validation;
 ``errant`` fits and compares access-link profiles.
+
+``report``, ``stream-report``, ``scorecard`` and ``errant`` accept a
+frame ``.npz``, a stream capture directory, or a bare rollup ``.npz``
+interchangeably — :func:`repro.analysis.source.load_capture`
+auto-detects the shape and every report dispatches through
+:mod:`repro.analysis.registry`.
 """
 
 from __future__ import annotations
@@ -25,27 +31,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.dataset import FlowFrame
 from repro.analysis.validation import build_scorecard
 from repro.traffic.workload import WorkloadConfig
-
-_REPORTS = (
-    "table1",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "table2",
-    "fig11",
-)
-
-
-_STREAM_REPORTS = ("fig2", "fig3", "fig4", "fig5", "fig8", "fig9")
 
 
 def _worker_count(value: str) -> int:
@@ -135,28 +122,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="spill raw npz windows (faster, ~3x more disk)",
     )
 
+    from repro.analysis import registry
+
+    all_reports = ",".join(registry.names())
+    rollup_reports = ",".join(
+        spec.name for spec in registry.specs() if spec.supports("rollup")
+    )
+
     stream_rep = sub.add_parser(
         "stream-report",
-        help="render figures from a capture directory's rollups "
+        help="render figures from a capture's rollup sketches "
         "(no full-frame load)",
     )
-    stream_rep.add_argument("--dir", required=True, help="capture directory")
+    stream_rep.add_argument(
+        "--dir", required=True, help="capture directory (or frame .npz)"
+    )
     stream_rep.add_argument(
         "--which",
         default="all",
-        help=f"comma list from {{{','.join(_STREAM_REPORTS)}}} or 'all'",
+        help=f"comma list from {{{rollup_reports}}} or 'all'",
     )
 
     rep = sub.add_parser("report", help="regenerate tables/figures")
-    rep.add_argument("--dataset", required=True)
+    rep.add_argument(
+        "--dataset",
+        required=True,
+        help="frame .npz, stream capture directory, or rollup .npz "
+        "(auto-detected)",
+    )
     rep.add_argument(
         "--which",
         default="all",
-        help=f"comma list from {{{','.join(_REPORTS)}}} or 'all'",
+        help=f"comma list from {{{all_reports}}} or 'all'",
     )
 
     score = sub.add_parser("scorecard", help="calibration scorecard")
-    score.add_argument("--dataset", required=True)
+    score.add_argument(
+        "--dataset",
+        required=True,
+        help="frame .npz or stream capture directory (auto-detected)",
+    )
 
     sub.add_parser("packet-sim", help="packet-level methodology validation")
 
@@ -232,116 +237,84 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render_stream_report(name: str, rollup) -> str:
-    from repro.analysis import reports
+def _open_capture(path: str):
+    """``load_capture`` with CLI error reporting; None means exit 2."""
+    from repro.analysis.source import CaptureError, load_capture
 
-    if name == "fig2":
-        return reports.fig2_country.render(reports.fig2_country.from_rollup(rollup))
-    if name == "fig3":
-        return reports.fig3_protocol_country.render(
-            reports.fig3_protocol_country.from_rollup(rollup)
-        )
-    if name == "fig4":
-        return reports.fig4_diurnal.render(reports.fig4_diurnal.from_rollup(rollup))
-    if name == "fig5":
-        return reports.fig5_volumes.render(reports.fig5_volumes.from_rollup(rollup))
-    if name == "fig8":
-        return reports.fig8_satellite_rtt.render(
-            reports.fig8_satellite_rtt.from_rollup(rollup)
-        )
-    if name == "fig9":
-        return reports.fig9_ground_rtt.render(
-            reports.fig9_ground_rtt.from_rollup(rollup)
-        )
-    raise ValueError(f"unknown stream report {name!r}")
+    try:
+        return load_capture(path)
+    except CaptureError as exc:
+        print(f"cannot open capture: {exc}", file=sys.stderr)
+        return None
+
+
+def _run_reports(source, which: str, prefer=None) -> int:
+    """Dispatch ``--which`` through the report registry."""
+    from repro.analysis import registry
+    from repro.analysis.source import CaptureError
+
+    kind = "rollup" if prefer == "rollup" else source.kind
+    if which == "all":
+        names = [s.name for s in registry.specs() if s.supports(kind)]
+        skipped = [s.name for s in registry.specs() if not s.supports(kind)]
+        if skipped:
+            print(
+                f"skipping {', '.join(skipped)}: need flow records, not "
+                "computable from rollup sketches",
+                file=sys.stderr,
+            )
+    else:
+        names = [name.strip() for name in which.split(",")]
+    for name in names:
+        try:
+            rendered = registry.run(name, source, prefer=prefer)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        except CaptureError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(rendered)
+        print()
+    return 0
 
 
 def _cmd_stream_report(args: argparse.Namespace) -> int:
-    from repro.stream import StreamRollup, load_checkpoint, rollup_path
+    from repro.stream import load_checkpoint
 
-    checkpoint = load_checkpoint(args.dir)
-    if checkpoint is None:
-        print(f"no capture checkpoint in {args.dir}", file=sys.stderr)
+    source = _open_capture(args.dir)
+    if source is None:
         return 2
-    if not checkpoint.complete:
-        print(
-            f"note: capture is partial ({checkpoint.windows_done}/"
-            f"{checkpoint.n_windows} windows); figures cover the folded "
-            "windows only",
-            file=sys.stderr,
-        )
-    rollup = StreamRollup.load(rollup_path(args.dir))
-    names = list(_STREAM_REPORTS) if args.which == "all" else args.which.split(",")
-    for name in names:
-        name = name.strip()
-        if name not in _STREAM_REPORTS:
+    if source.kind == "store":
+        checkpoint = load_checkpoint(args.dir)
+        if checkpoint is not None and not checkpoint.complete:
             print(
-                f"unknown stream report {name!r}; choose from "
-                f"{', '.join(_STREAM_REPORTS)}",
+                f"note: capture is partial ({checkpoint.windows_done}/"
+                f"{checkpoint.n_windows} windows); figures cover the folded "
+                "windows only",
                 file=sys.stderr,
             )
-            return 2
-        print(_render_stream_report(name, rollup))
-        print()
-    return 0
-
-
-def _render_report(name: str, frame: FlowFrame) -> str:
-    from repro.analysis import reports
-
-    if name == "table1":
-        return reports.table1_protocols.render(reports.table1_protocols.compute(frame))
-    if name == "fig2":
-        return reports.fig2_country.render(reports.fig2_country.compute(frame))
-    if name == "fig3":
-        return reports.fig3_protocol_country.render(
-            reports.fig3_protocol_country.compute(frame)
-        )
-    if name == "fig4":
-        return reports.fig4_diurnal.render(reports.fig4_diurnal.compute(frame))
-    if name == "fig5":
-        return reports.fig5_volumes.render(reports.fig5_volumes.compute(frame))
-    if name == "fig6":
-        return reports.fig6_service_popularity.render(
-            reports.fig6_service_popularity.compute(frame)
-        )
-    if name == "fig7":
-        return reports.fig7_service_volume.render(
-            reports.fig7_service_volume.compute(frame)
-        )
-    if name == "fig8":
-        return reports.fig8_satellite_rtt.render(
-            reports.fig8_satellite_rtt.compute_fig8a(frame),
-            reports.fig8_satellite_rtt.compute_fig8b(frame),
-        )
-    if name == "fig9":
-        return reports.fig9_ground_rtt.render(reports.fig9_ground_rtt.compute(frame))
-    if name == "fig10":
-        return reports.fig10_dns.render(reports.fig10_dns.compute(frame))
-    if name == "table2":
-        return reports.table2_resolver_rtt.render(
-            reports.table2_resolver_rtt.compute(frame)
-        )
-    if name == "fig11":
-        return reports.fig11_throughput.render(reports.fig11_throughput.compute(frame))
-    raise ValueError(f"unknown report {name!r}")
+    return _run_reports(source, args.which, prefer="rollup")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    frame = FlowFrame.load_npz(args.dataset)
-    names = list(_REPORTS) if args.which == "all" else args.which.split(",")
-    for name in names:
-        name = name.strip()
-        if name not in _REPORTS:
-            print(f"unknown report {name!r}; choose from {', '.join(_REPORTS)}", file=sys.stderr)
-            return 2
-        print(_render_report(name, frame))
-        print()
-    return 0
+    source = _open_capture(args.dataset)
+    if source is None:
+        return 2
+    return _run_reports(source, args.which)
 
 
 def _cmd_scorecard(args: argparse.Namespace) -> int:
-    frame = FlowFrame.load_npz(args.dataset)
+    from repro.analysis.source import CaptureError
+
+    source = _open_capture(args.dataset)
+    if source is None:
+        return 2
+    try:
+        frame = source.to_frame()
+    except CaptureError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     scorecard = build_scorecard(frame)
     print(scorecard.render())
     return 0 if scorecard.passed == scorecard.total else 1
@@ -366,11 +339,19 @@ def _cmd_packet_sim(_args: argparse.Namespace) -> int:
 
 
 def _cmd_errant(args: argparse.Namespace) -> int:
+    from repro.analysis.source import CaptureError
     from repro.errant.emulator import Emulator, compare_profiles
     from repro.errant.model import fit_profile
     from repro.errant.profiles import BUILTIN_PROFILES
 
-    frame = FlowFrame.load_npz(args.dataset)
+    source = _open_capture(args.dataset)
+    if source is None:
+        return 2
+    try:
+        frame = source.to_frame()
+    except CaptureError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     fitted = fit_profile(frame, args.country)
     profiles = dict(BUILTIN_PROFILES)
     profiles[fitted.name] = fitted

@@ -11,7 +11,8 @@ Public surface:
 * :class:`StreamConfig`, :func:`run_stream_capture`,
   :class:`WindowedProducer`, :func:`plan_windows` — producing.
 * :class:`FlowStore` — the on-disk capture directory.
-* :class:`StreamRollup`, :class:`HistFamily` — mergeable aggregates.
+* :class:`StreamRollup`, :class:`HourlyRollup`, :class:`HistFamily` —
+  the mergeable rollup family.
 * :func:`load_checkpoint`, :class:`Checkpoint` — resume cursors.
 """
 
@@ -29,7 +30,7 @@ from repro.stream.producer import (
     plan_windows,
     run_stream_capture,
 )
-from repro.stream.rollup import HistFamily, StreamRollup
+from repro.stream.rollup import HistFamily, HourlyRollup, StreamRollup
 from repro.stream.store import FlowStore, WindowEntry
 from repro.stream.telemetry import peak_rss_mb, render_telemetry
 
@@ -37,6 +38,7 @@ __all__ = [
     "Checkpoint",
     "FlowStore",
     "HistFamily",
+    "HourlyRollup",
     "StreamConfig",
     "StreamResult",
     "StreamRollup",

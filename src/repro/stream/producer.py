@@ -223,7 +223,11 @@ def run_stream_capture(
             config=dataclasses.asdict(config.workload),
             compress=config.compress,
         )
-        rollup = StreamRollup(generator.countries_pool, generator.services_pool)
+        rollup = StreamRollup(
+            generator.countries_pool,
+            generator.services_pool,
+            generator.resolvers_pool,
+        )
         checkpoint = Checkpoint(
             capture_key=key,
             n_windows=n_windows,

@@ -11,18 +11,26 @@ flows, it just keeps folding new windows into the saved state.
 What the sketches retain is exactly what the rollup-served figures
 need:
 
-* per-country volume/flow/customer counters         → Figure 2
+* per-country volume/flow/customer counters         → Figure 2 / Table 1
 * a (country, l7, hour) volume matrix               → Figure 3
 * per-(country, day) hourly volume matrices         → Figure 4
 * per-country customer-day histograms + counters    → Figure 5
-* a (country, service, hour) volume matrix          → Figures 6/7-style
+* classifier service-popularity counters            → Figure 6
+* per-(category, country) customer-day volume hists → Figure 7
 * night/peak satellite-RTT histograms per country   → Figure 8a
 * ground-RTT histograms (count & volume weighted)   → Figure 9
+* (country, resolver) DNS counters + response hists → Figure 10
+* per-country bulk-flow throughput histograms       → Figure 11
+* per-customer resolver/domain-group RTT banks      → Table 2
 
 ``update`` must see *whole* windows whose boundaries fall on day
-edges (the producer guarantees this): Figure 5 aggregates per
-(customer, day), which is only exact when no customer-day straddles
-two updates.
+edges (the producer guarantees this): the customer-day sketches
+(Figures 5/6/7) are only exact when no customer-day straddles two
+updates.
+
+:class:`HourlyRollup` — the paper's Section 3.1 hourly aggregate view
+— lives here too as the third member of the rollup family (frame →
+hourly cells, mergeable across day-aligned chunks).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -37,12 +46,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.aggregate import local_hour_of
+from repro.analysis.classify import ServiceClassifier
 from repro.analysis.dataset import FlowFrame
+from repro.analysis.domains import TABLE2_DOMAIN_GROUPS
+from repro.constants import BULK_FLOW_MIN_BYTES
 from repro.flowmeter.records import L7Protocol, L7_ORDER
+from repro.traffic.services import ServiceCategory
 
 #: Bump when the sketch layout changes; saved states refuse to load
 #: across schema versions instead of mis-merging.
-ROLLUP_SCHEMA = 1
+ROLLUP_SCHEMA = 2
+
+#: Figure 7 category axis (must match fig7_service_volume.CATEGORIES).
+FIG7_CATEGORIES = (
+    ServiceCategory.AUDIO,
+    ServiceCategory.CHAT,
+    ServiceCategory.SEARCH,
+    ServiceCategory.SOCIAL,
+    ServiceCategory.VIDEO,
+    ServiceCategory.WORK,
+)
 
 #: Figure 8a local-hour periods (match fig8_satellite_rtt).
 NIGHT_HOURS = (2.0, 5.0)
@@ -189,11 +212,24 @@ class StreamRollup:
     SAT_EDGES = np.linspace(0.0, 5000.0, 201)
     #: Ground RTT, ms: 1..1000, 24 bins/decade.
     GROUND_EDGES = _decade_edges(0, 3, per_decade=24)
+    #: Figure 7 customer-day category bytes: 1 B .. 1 TB, 24 bins/decade.
+    CAT_BYTE_EDGES = _decade_edges(0, 12, per_decade=24)
+    #: Figure 10 DNS response time, ms: 0.1 ms .. 10 s, 24 bins/decade.
+    DNS_EDGES = _decade_edges(-1, 4, per_decade=24)
+    #: Figure 11 bulk-flow throughput, Mb/s: 0.01 .. 1000, 48 bins/decade.
+    TPUT_EDGES = _decade_edges(-2, 3, per_decade=48)
 
-    def __init__(self, countries: Sequence[str], services: Sequence[str]) -> None:
+    def __init__(
+        self,
+        countries: Sequence[str],
+        services: Sequence[str],
+        resolvers: Sequence[str] = (),
+    ) -> None:
         self.countries = list(countries)
         self.services = list(services)
+        self.resolvers = list(resolvers)
         nc, ns, nl = len(self.countries), len(self.services), len(L7_ORDER)
+        nr = len(self.resolvers)
 
         self.flows_total = 0
         self.windows_folded = 0
@@ -222,21 +258,54 @@ class StreamRollup:
         # Figure 9
         self.h9_cnt = HistFamily(self.GROUND_EDGES, nc)
         self.h9_vol = HistFamily(self.GROUND_EDGES, nc)
+        # Figure 6: Σ over days of distinct customers per
+        # (country, classifier service); exact under day-aligned windows.
+        self._classifier = ServiceClassifier()
+        self.classifier_services = [r.service for r in self._classifier.rules]
+        n_svc = len(self.classifier_services)
+        self.svc_cust_days = np.zeros((nc, n_svc), dtype=np.int64)
+        # Figure 7: customer-day category volume histograms,
+        # row = category * nc + country.
+        self.h7_volume = HistFamily(self.CAT_BYTE_EDGES, len(FIG7_CATEGORIES) * nc)
+        # Figure 10: DNS flow counts per (country, resolver) — exact
+        # shares — plus per-resolver response-time histograms.
+        self.dns_cr = np.zeros((nc, nr), dtype=np.int64)
+        self.h10_resp = HistFamily(self.DNS_EDGES, max(nr, 1))
+        # Figure 11: per-country bulk-flow throughput (all / night / peak).
+        self.h11_all = HistFamily(self.TPUT_EDGES, nc)
+        self.h11_night = HistFamily(self.TPUT_EDGES, nc)
+        self.h11_peak = HistFamily(self.TPUT_EDGES, nc)
+        # Table 2: per-customer bank — DNS flows per resolver plus
+        # ground-RTT (sum, count) per Table 2 domain group.
+        self._t2_groups = list(TABLE2_DOMAIN_GROUPS)
+        self._t2_compiled = [
+            re.compile(TABLE2_DOMAIN_GROUPS[name]) for name in self._t2_groups
+        ]
+        self._t2: Dict[int, np.ndarray] = {}
+
+    @property
+    def _t2_vec_len(self) -> int:
+        return len(self.resolvers) + 2 * len(self._t2_groups)
 
     @classmethod
     def for_frame(cls, frame: FlowFrame) -> "StreamRollup":
         """An empty rollup matching ``frame``'s categorical pools."""
-        return cls(frame.countries, frame.services)
+        return cls(frame.countries, frame.services, frame.resolvers)
 
     def _hist_specs(self) -> List[_HistSpec]:
         return [
             _HistSpec("h5_flows", self.FLOW_EDGES),
             _HistSpec("h5_down", self.BYTE_EDGES),
             _HistSpec("h5_up", self.BYTE_EDGES),
+            _HistSpec("h7_volume", self.CAT_BYTE_EDGES),
             _HistSpec("h8_night", self.SAT_EDGES),
             _HistSpec("h8_peak", self.SAT_EDGES),
             _HistSpec("h9_cnt", self.GROUND_EDGES),
             _HistSpec("h9_vol", self.GROUND_EDGES),
+            _HistSpec("h10_resp", self.DNS_EDGES),
+            _HistSpec("h11_all", self.TPUT_EDGES),
+            _HistSpec("h11_night", self.TPUT_EDGES),
+            _HistSpec("h11_peak", self.TPUT_EDGES),
         ]
 
     # -- update --------------------------------------------------------
@@ -251,7 +320,11 @@ class StreamRollup:
         self.windows_folded += 1
         if frame is None or len(frame) == 0:
             return self
-        if frame.countries != self.countries or frame.services != self.services:
+        if (
+            frame.countries != self.countries
+            or frame.services != self.services
+            or frame.resolvers != self.resolvers
+        ):
             raise ValueError("frame pools do not match this rollup")
         nc = len(self.countries)
         c = frame.country_idx.astype(np.int64)
@@ -291,6 +364,8 @@ class StreamRollup:
 
         self._update_customer_days(frame, c)
         self._update_rtt(frame, c, vol)
+        self._update_services(frame, c, vol)
+        self._update_dns(frame, c)
         return self
 
     def _update_customer_days(self, frame: FlowFrame, c: np.ndarray) -> None:
@@ -338,11 +413,138 @@ class StreamRollup:
         self.h9_cnt.update(rows, rtt)
         self.h9_vol.update(rows, rtt, weights=vol[ground_ok])
 
+        # Figure 11: bulk-download throughput (Mb/s), overall plus the
+        # same night/peak local-hour periods as Figure 8a.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mbps = frame.bytes_down * 8.0 / frame.duration_s / 1e6
+        bulk = (frame.bytes_down >= BULK_FLOW_MIN_BYTES) & np.isfinite(mbps)
+        night_b = bulk & (local_hour >= NIGHT_HOURS[0]) & (local_hour < NIGHT_HOURS[1])
+        peak_b = bulk & (local_hour >= PEAK_HOURS[0]) & (local_hour < PEAK_HOURS[1])
+        self.h11_all.update(c[bulk], mbps[bulk])
+        self.h11_night.update(c[night_b], mbps[night_b])
+        self.h11_peak.update(c[peak_b], mbps[peak_b])
+
+    def _update_services(self, frame: FlowFrame, c: np.ndarray, vol: np.ndarray) -> None:
+        """Figures 6/7: classifier-labelled customer-day aggregates.
+
+        Labels come from the Table 3 regexes over the window's domain
+        pool (memoized — the pool is identical across windows), *not*
+        from the generator's ground truth, mirroring the frame paths.
+        """
+        pool_labels, names = self._classifier.classify_pool(frame.domains)
+        if names != self.classifier_services:
+            raise ValueError("classifier rules changed under a live rollup")
+        labels = np.full(len(frame), -1, dtype=np.int16)
+        has_domain = frame.domain_idx >= 0
+        labels[has_domain] = pool_labels[frame.domain_idx[has_domain]]
+        matched = labels >= 0
+        if not matched.any():
+            return
+        nc = len(self.countries)
+        lab = labels[matched].astype(np.int64)
+        cust = frame.customer_id[matched].astype(np.int64)
+        day = frame.day[matched].astype(np.int64)
+        cc = c[matched]
+
+        # Figure 6: distinct customers per (country, service, day),
+        # summed over days — group by (service, customer, day).
+        combined = (lab * 1_000_000 + cust) * 100_000 + day
+        order = np.argsort(combined, kind="stable")
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(combined[order])) + 1)
+        )
+        g_country = cc[order][starts]
+        g_svc = lab[order][starts]
+        n_svc = len(self.classifier_services)
+        self.svc_cust_days += np.bincount(
+            g_country.astype(np.int64) * n_svc + g_svc, minlength=nc * n_svc
+        ).reshape(nc, n_svc).astype(np.int64)
+
+        # Figure 7: customer-day volume per category.
+        cat_of_label = np.full(n_svc, -1, dtype=np.int64)
+        for i, rule in enumerate(self._classifier.rules):
+            if rule.category in FIG7_CATEGORIES:
+                cat_of_label[i] = FIG7_CATEGORIES.index(rule.category)
+        cat = cat_of_label[lab]
+        has_cat = cat >= 0
+        if not has_cat.any():
+            return
+        combined = ((cat[has_cat] * 1_000_000 + cust[has_cat])) * 100_000 + day[has_cat]
+        values = vol[matched][has_cat]
+        order = np.argsort(combined, kind="stable")
+        combined = combined[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(combined)) + 1))
+        sums = np.add.reduceat(values[order], starts)
+        g_country = cc[has_cat][order][starts].astype(np.int64)
+        g_cat = cat[has_cat][order][starts]
+        self.h7_volume.update(g_cat * nc + g_country, sums)
+
+    def _update_dns(self, frame: FlowFrame, c: np.ndarray) -> None:
+        """Figure 10 counters/histograms and the Table 2 customer bank."""
+        nr = len(self.resolvers)
+        if nr == 0:
+            return
+        nc = len(self.countries)
+        dns = frame.resolver_idx >= 0
+        res = frame.resolver_idx.astype(np.int64)
+        self.dns_cr += np.bincount(
+            c[dns] * nr + res[dns], minlength=nc * nr
+        ).reshape(nc, nr).astype(np.int64)
+        resp_ok = dns & np.isfinite(frame.dns_response_ms)
+        self.h10_resp.update(res[resp_ok], frame.dns_response_ms[resp_ok])
+
+        # Table 2 bank: group flows by customer, then accumulate that
+        # customer's resolver counts and per-domain-group RTT sums.
+        ng = len(self._t2_groups)
+        pool_group = np.full(len(frame.domains), -1, dtype=np.int16)
+        for d_idx, domain in enumerate(frame.domains):
+            for g_idx, pattern in enumerate(self._t2_compiled):
+                if pattern.search(domain):
+                    pool_group[d_idx] = g_idx
+                    break
+        flow_group = np.full(len(frame), -1, dtype=np.int16)
+        has_domain = frame.domain_idx >= 0
+        flow_group[has_domain] = pool_group[frame.domain_idx[has_domain]]
+        rtt_ok = np.isfinite(frame.ground_rtt_ms) & (flow_group >= 0)
+
+        relevant = dns | rtt_ok
+        if not relevant.any():
+            return
+        cust = frame.customer_id[relevant].astype(np.int64)
+        r_rel = res[relevant]
+        g_rel = flow_group[relevant].astype(np.int64)
+        rtt_rel = frame.ground_rtt_ms[relevant].astype(np.float64)
+        dns_rel = dns[relevant]
+        rtt_rel_ok = rtt_ok[relevant]
+        order = np.argsort(cust, kind="stable")
+        cust = cust[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(cust)) + 1))
+        ends = np.concatenate((starts[1:], [len(cust)]))
+        for lo, hi in zip(starts, ends):
+            seg = order[lo:hi]
+            vec = self._t2.setdefault(
+                int(cust[lo]), np.zeros(self._t2_vec_len, dtype=np.float64)
+            )
+            seg_dns = seg[dns_rel[order[lo:hi]]]
+            if len(seg_dns):
+                vec[:nr] += np.bincount(r_rel[seg_dns], minlength=nr)
+            seg_rtt = seg[rtt_rel_ok[order[lo:hi]]]
+            if len(seg_rtt):
+                groups = g_rel[seg_rtt]
+                vec[nr : nr + ng] += np.bincount(
+                    groups, weights=rtt_rel[seg_rtt], minlength=ng
+                )
+                vec[nr + ng :] += np.bincount(groups, minlength=ng)
+
     # -- merge ---------------------------------------------------------
 
     def merge(self, other: "StreamRollup") -> "StreamRollup":
         """Fold another rollup in (associative, pools must match)."""
-        if other.countries != self.countries or other.services != self.services:
+        if (
+            other.countries != self.countries
+            or other.services != self.services
+            or other.resolvers != self.resolvers
+        ):
             raise ValueError("cannot merge rollups with different pools")
         self.flows_total += other.flows_total
         self.windows_folded += other.windows_folded
@@ -363,6 +565,13 @@ class StreamRollup:
         for spec in self._hist_specs():
             getattr(self, spec.name).merge(getattr(other, spec.name))
         self.sat_min_c = np.minimum(self.sat_min_c, other.sat_min_c)
+        self.svc_cust_days += other.svc_cust_days
+        self.dns_cr += other.dns_cr
+        for cid, vec in other._t2.items():
+            mine = self._t2.setdefault(
+                cid, np.zeros(self._t2_vec_len, dtype=np.float64)
+            )
+            mine += vec
         return self
 
     # -- queries used by the from_rollup report paths ------------------
@@ -398,6 +607,44 @@ class StreamRollup:
         peak = totals.max()
         return totals / peak if peak > 0 else totals
 
+    def n_days(self) -> int:
+        """Distinct capture days folded so far (days with any flow)."""
+        return len(self.vol_day)
+
+    def volume_by_l7(self) -> np.ndarray:
+        """Total bytes per l7 protocol (Table 1) — exact."""
+        return self.vol_clh.sum(axis=(0, 2))
+
+    def service_row(self, service: str) -> int:
+        return self.classifier_services.index(service)
+
+    def fig7_row(self, category: ServiceCategory, country: str) -> int:
+        """Row of :attr:`h7_volume` for one (category, country) cell."""
+        return FIG7_CATEGORIES.index(category) * len(self.countries) + self.country_row(
+            country
+        )
+
+    def resolver_row(self, resolver: str) -> int:
+        return self.resolvers.index(resolver)
+
+    def customers_of(self, country: str) -> List[int]:
+        """Distinct customer ids seen in ``country`` (sorted)."""
+        return sorted(self._customers[self.country_row(country)])
+
+    def t2_bank(self, customer: int) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """One customer's Table 2 bank: (DNS flows per resolver,
+        ground-RTT sum per domain group, sample count per group)."""
+        vec = self._t2.get(int(customer))
+        if vec is None:
+            return None
+        nr, ng = len(self.resolvers), len(self._t2_groups)
+        return vec[:nr], vec[nr : nr + ng], vec[nr + ng :]
+
+    @property
+    def t2_groups(self) -> List[str]:
+        """Table 2 domain-group names, in bank order."""
+        return list(self._t2_groups)
+
     # -- persistence ---------------------------------------------------
 
     def _state_arrays(self) -> Dict[str, np.ndarray]:
@@ -410,10 +657,19 @@ class StreamRollup:
             "cd_total_c": self.cd_total_c,
             "cd_idle_c": self.cd_idle_c,
             "sat_min_c": self.sat_min_c,
+            "svc_cust_days": self.svc_cust_days,
+            "dns_cr": self.dns_cr,
             "counters": np.array(
                 [self.flows_total, self.windows_folded], dtype=np.int64
             ),
         }
+        t2_ids = np.array(sorted(self._t2), dtype=np.int64)
+        arrays["t2_ids"] = t2_ids
+        arrays["t2_stats"] = (
+            np.stack([self._t2[int(cid)] for cid in t2_ids])
+            if len(t2_ids)
+            else np.zeros((0, self._t2_vec_len), dtype=np.float64)
+        )
         days = sorted(self.vol_day)
         arrays["day_keys"] = np.array(days, dtype=np.int64)
         arrays["day_vol"] = (
@@ -449,6 +705,7 @@ class StreamRollup:
                     "schema": ROLLUP_SCHEMA,
                     "countries": self.countries,
                     "services": self.services,
+                    "resolvers": self.resolvers,
                 },
                 sort_keys=True,
             ).encode()
@@ -466,6 +723,7 @@ class StreamRollup:
                 "schema": ROLLUP_SCHEMA,
                 "countries": self.countries,
                 "services": self.services,
+                "resolvers": self.resolvers,
             }
         )
         directory = os.path.dirname(path) or "."
@@ -494,7 +752,7 @@ class StreamRollup:
                 raise ValueError(
                     f"rollup schema {meta.get('schema')} != {ROLLUP_SCHEMA}"
                 )
-            rollup = cls(meta["countries"], meta["services"])
+            rollup = cls(meta["countries"], meta["services"], meta["resolvers"])
             rollup.bytes_up_c = data["bytes_up_c"].copy()
             rollup.bytes_down_c = data["bytes_down_c"].copy()
             rollup.flows_c = data["flows_c"].copy()
@@ -503,6 +761,12 @@ class StreamRollup:
             rollup.cd_total_c = data["cd_total_c"].copy()
             rollup.cd_idle_c = data["cd_idle_c"].copy()
             rollup.sat_min_c = data["sat_min_c"].copy()
+            rollup.svc_cust_days = data["svc_cust_days"].copy()
+            rollup.dns_cr = data["dns_cr"].copy()
+            rollup._t2 = {
+                int(cid): data["t2_stats"][i].copy()
+                for i, cid in enumerate(data["t2_ids"])
+            }
             counters = data["counters"]
             rollup.flows_total = int(counters[0])
             rollup.windows_folded = int(counters[1])
@@ -523,3 +787,184 @@ class StreamRollup:
                 hist.under = data[f"{spec.name}_under"].copy()
                 hist.over = data[f"{spec.name}_over"].copy()
         return rollup
+
+
+@dataclass
+class HourlyRollup:
+    """The paper's Section 3.1 hourly aggregate view.
+
+    "The second step is to create aggregated views of the data to
+    obtain traffic breakdowns by protocols, server domains, time (with
+    1 hour granularity), country of the customer, and contacted
+    service" — one row per (day, hour, country, l7, service) with
+    flow/byte/customer counters, built in one vectorized pass and
+    queryable without touching the flow table again.
+
+    Part of the mergeable rollup family: :meth:`merge` folds two views
+    keyed on the same pools. Counters are exact; the distinct-customer
+    column is exact only when the merged views cover *disjoint day
+    ranges* (the streaming window discipline — a customer seen in the
+    same cell from both sides would be double counted).
+    """
+
+    day: np.ndarray
+    hour: np.ndarray
+    country_idx: np.ndarray
+    l7_idx: np.ndarray
+    service_idx: np.ndarray  # -1 = unattributed
+    flows: np.ndarray
+    bytes_total: np.ndarray
+    bytes_up: np.ndarray
+    bytes_down: np.ndarray
+    customers: np.ndarray  # distinct customers in the cell
+
+    countries: list
+    services: list
+
+    def __len__(self) -> int:
+        return len(self.day)
+
+    @staticmethod
+    def _decode_keys(unique: np.ndarray) -> Tuple[np.ndarray, ...]:
+        service = (unique % 100) - 1
+        rest = unique // 100
+        l7 = rest % 10
+        rest //= 10
+        country = rest % 100
+        rest //= 100
+        hour = rest % 100
+        day = rest // 100
+        return day, hour, country, l7, service
+
+    def _keys(self) -> np.ndarray:
+        return (
+            self.day.astype(np.int64) * 10_000_000
+            + self.hour.astype(np.int64) * 100_000
+            + self.country_idx.astype(np.int64) * 1_000
+            + self.l7_idx.astype(np.int64) * 100
+            + (self.service_idx.astype(np.int64) + 1)
+        )
+
+    @classmethod
+    def from_frame(cls, frame: FlowFrame) -> "HourlyRollup":
+        """Aggregate a flow table into hourly cells."""
+        if frame.customer_id.max(initial=0) >= 1_000_000:
+            raise ValueError("rollup keys assume customer ids below 1e6")
+        hours = frame.hour_utc.astype(np.int64) % 24
+        # Composite key: day | hour | country | l7 | service(+1)
+        key = (
+            frame.day.astype(np.int64) * 10_000_000
+            + hours * 100_000
+            + frame.country_idx.astype(np.int64) * 1_000
+            + frame.l7_idx.astype(np.int64) * 100
+            + (frame.service_true_idx.astype(np.int64) + 1)
+        )
+        # Sort by (cell, customer) so distinct-customer counting is a
+        # simple adjacent-difference within each cell.
+        combined = key * 1_000_000 + frame.customer_id.astype(np.int64)
+        order = np.argsort(combined, kind="stable")
+        sorted_combined = combined[order]
+        sorted_key = sorted_combined // 1_000_000
+        boundaries = np.concatenate(([0], np.flatnonzero(np.diff(sorted_key)) + 1))
+
+        def segsum(values: np.ndarray) -> np.ndarray:
+            return np.add.reduceat(values[order].astype(np.float64), boundaries)
+
+        unique = sorted_key[boundaries]
+        day, hour, country, l7, service = cls._decode_keys(unique)
+
+        distinct_mask = np.ones(len(sorted_combined), dtype=bool)
+        distinct_mask[1:] = np.diff(sorted_combined) != 0
+        customers = np.add.reduceat(distinct_mask.astype(np.float64), boundaries)
+
+        return cls(
+            day=day.astype(np.int32),
+            hour=hour.astype(np.int8),
+            country_idx=country.astype(np.int16),
+            l7_idx=l7.astype(np.int8),
+            service_idx=service.astype(np.int16),
+            flows=segsum(np.ones(len(frame))),
+            bytes_total=segsum(frame.bytes_total()),
+            bytes_up=segsum(frame.bytes_up),
+            bytes_down=segsum(frame.bytes_down),
+            customers=customers,
+            countries=list(frame.countries),
+            services=list(frame.services),
+        )
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, other: "HourlyRollup") -> "HourlyRollup":
+        """Fold another view in (associative; pools must match)."""
+        if other.countries != self.countries or other.services != self.services:
+            raise ValueError("cannot merge rollups with different pools")
+        key = np.concatenate((self._keys(), other._keys()))
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        boundaries = np.concatenate(
+            ([0], np.flatnonzero(np.diff(sorted_key)) + 1)
+        )
+
+        def segsum(mine: np.ndarray, theirs: np.ndarray) -> np.ndarray:
+            both = np.concatenate(
+                (mine.astype(np.float64), theirs.astype(np.float64))
+            )
+            return np.add.reduceat(both[order], boundaries)
+
+        unique = sorted_key[boundaries]
+        day, hour, country, l7, service = self._decode_keys(unique)
+        self.flows = segsum(self.flows, other.flows)
+        self.bytes_total = segsum(self.bytes_total, other.bytes_total)
+        self.bytes_up = segsum(self.bytes_up, other.bytes_up)
+        self.bytes_down = segsum(self.bytes_down, other.bytes_down)
+        self.customers = segsum(self.customers, other.customers)
+        self.day = day.astype(np.int32)
+        self.hour = hour.astype(np.int8)
+        self.country_idx = country.astype(np.int16)
+        self.l7_idx = l7.astype(np.int8)
+        self.service_idx = service.astype(np.int16)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def _mask(
+        self,
+        country: Optional[str] = None,
+        l7_idx: Optional[int] = None,
+        service: Optional[str] = None,
+        hour: Optional[int] = None,
+        day: Optional[int] = None,
+    ) -> np.ndarray:
+        mask = np.ones(len(self), dtype=bool)
+        if country is not None:
+            mask &= self.country_idx == self.countries.index(country)
+        if l7_idx is not None:
+            mask &= self.l7_idx == l7_idx
+        if service is not None:
+            mask &= self.service_idx == self.services.index(service)
+        if hour is not None:
+            mask &= self.hour == hour
+        if day is not None:
+            mask &= self.day == day
+        return mask
+
+    def volume(self, **filters) -> float:
+        """Total bytes matching the filters."""
+        return float(self.bytes_total[self._mask(**filters)].sum())
+
+    def flow_count(self, **filters) -> float:
+        """Total flows matching the filters."""
+        return float(self.flows[self._mask(**filters)].sum())
+
+    def hourly_series(self, country: str) -> np.ndarray:
+        """24-vector of volume per UTC hour (sums across days)."""
+        out = np.zeros(24)
+        mask = self._mask(country=country)
+        np.add.at(out, self.hour[mask].astype(int), self.bytes_total[mask])
+        return out
+
+    def reduction_factor(self, frame: FlowFrame) -> float:
+        """How many times smaller the rollup is than the flow table."""
+        if len(self) == 0:
+            return float("inf")
+        return len(frame) / len(self)

@@ -88,9 +88,43 @@ def test_median_by_group():
 
 def test_filter_preserves_pools(small_frame):
     subset = small_frame.filter(small_frame.country_mask("Spain"))
-    assert subset.countries is small_frame.countries
+    assert subset.countries == small_frame.countries
     assert len(subset) < len(small_frame)
     assert np.all(subset.country_idx == small_frame.countries.index("Spain"))
+
+
+def test_filter_and_concat_copy_pool_lists(small_frame):
+    """Derived frames own fresh pool list objects: mutating one frame's
+    pool must never corrupt a sibling's (regression for shared lists)."""
+    subset = small_frame.filter(small_frame.country_mask("Spain"))
+    assert subset.countries is not small_frame.countries
+    assert subset.domains is not small_frame.domains
+    subset.countries.append("Atlantis")
+    assert "Atlantis" not in small_frame.countries
+
+    congo = small_frame.filter(small_frame.country_mask("Congo"))
+    merged = FlowFrame.concat(
+        [congo, small_frame.filter(small_frame.country_mask("UK"))]
+    )
+    assert merged.countries is not congo.countries
+    merged.resolvers.append("bogus")
+    assert congo.resolvers == small_frame.resolvers
+
+
+def test_load_npz_coerces_drifted_dtypes(small_frame, tmp_path):
+    """Old captures with drifted column dtypes are coerced on load."""
+    path = tmp_path / "drifted.npz"
+    small_frame.save_npz(path)
+    with np.load(path, allow_pickle=True) as data:
+        members = {name: data[name] for name in data.files}
+    members["bytes_down"] = members["bytes_down"].astype(np.float32)
+    members["country_idx"] = members["country_idx"].astype(np.int64)
+    np.savez(path, **members)
+
+    loaded = FlowFrame.load_npz(path)
+    assert loaded.bytes_down.dtype == FlowFrame.COLUMN_DTYPES["bytes_down"]
+    assert loaded.country_idx.dtype == FlowFrame.COLUMN_DTYPES["country_idx"]
+    assert np.array_equal(loaded.country_idx, small_frame.country_idx)
 
 
 def test_customer_day_totals_match_bruteforce(small_frame):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.rollup import HourlyRollup
+from repro.stream.rollup import HourlyRollup
 from repro.flowmeter.records import L7Protocol, L7_ORDER
 
 

@@ -129,3 +129,52 @@ def test_cli_mixed_sim(capsys):
     printed = capsys.readouterr().out
     assert "tcp/https" in printed
     assert "RTP mouth-to-ear" in printed
+
+
+# --- capture auto-detection and diagnostics -------------------------------
+
+
+def test_cli_report_missing_dataset(tmp_path, capsys):
+    assert main(["report", "--dataset", str(tmp_path / "void.npz")]) == 2
+    assert "no such capture" in capsys.readouterr().err
+
+
+def test_cli_report_unrecognized_npz(tmp_path, capsys):
+    path = tmp_path / "junk.npz"
+    np.savez(path, junk=np.arange(4))
+    assert main(["report", "--dataset", str(path)]) == 2
+    assert "neither a frame capture" in capsys.readouterr().err
+
+
+def test_cli_scorecard_missing_dataset(tmp_path, capsys):
+    assert main(["scorecard", "--dataset", str(tmp_path / "void.npz")]) == 2
+    assert "no such capture" in capsys.readouterr().err
+
+
+def test_cli_report_and_scorecard_accept_capture_dir(tmp_path, capsys):
+    directory = str(tmp_path / "cap")
+    assert main([
+        "stream", "--customers", "60", "--days", "1", "--seed", "3",
+        "--no-compress", "--dir", directory,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["report", "--dataset", directory, "--which", "table1,fig6"]) == 0
+    printed = capsys.readouterr().out
+    assert "Table 1" in printed and "Figure 6" in printed
+    main(["scorecard", "--dataset", directory])
+    assert "Calibration scorecard" in capsys.readouterr().out
+
+
+def test_cli_report_from_bare_rollup(tmp_path, capsys):
+    directory = tmp_path / "cap"
+    assert main([
+        "stream", "--customers", "60", "--days", "1", "--seed", "3",
+        "--no-compress", "--dir", str(directory),
+    ]) == 0
+    capsys.readouterr()
+    rollup = str(directory / "rollup.npz")
+    assert main(["report", "--dataset", rollup, "--which", "table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+    # frame-only reports cannot run from sketches
+    assert main(["report", "--dataset", rollup, "--which", "web-qoe"]) == 2
+    assert "needs flow records" in capsys.readouterr().err

@@ -547,7 +547,7 @@ def test_cli_stream_report_rejects_unknown(tmp_path, capsys):
 
 def test_cli_stream_report_without_capture(tmp_path, capsys):
     assert main(["stream-report", "--dir", str(tmp_path / "void")]) == 2
-    assert "no capture checkpoint" in capsys.readouterr().err
+    assert "no such capture" in capsys.readouterr().err
 
 
 # -- the whole point: bounded memory ---------------------------------------
