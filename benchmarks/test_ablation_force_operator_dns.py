@@ -12,9 +12,11 @@ import pytest
 
 from repro.analysis.reports import fig9_ground_rtt, fig10_dns
 from repro.pipeline import generate_with_forced_resolver
-from repro.traffic.workload import WorkloadConfig
+from repro.scenario import get_scenario
 
-_CONFIG = WorkloadConfig(n_customers=350, days=3, seed=77)
+_CONFIG = get_scenario("baseline-geo").with_overrides(
+    {"population.n_customers": 350, "workload.days": 3, "workload.seed": 77}
+).workload_config()
 
 
 @pytest.mark.benchmark(group="ablation")

@@ -9,12 +9,13 @@ import pytest
 
 from repro.analysis.aggregate import format_table
 from repro.satcom.qos import TrafficClass
-from repro.satcom.qos_sim import QosScenarioConfig, run_qos_scenario
+from repro.satcom.qos_sim import run_qos_scenario
+from repro.scenario import get_scenario
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_qos_scheduler_ablation(benchmark, save_result):
-    config = QosScenarioConfig()
+    config = get_scenario("baseline-geo").qos_config()
     with_qos = benchmark(run_qos_scenario, config, True)
     without_qos = run_qos_scenario(config, use_scheduler=False)
 

@@ -9,7 +9,7 @@ from repro.analysis.classify import ServiceClassifier
 from repro.stream.rollup import HourlyRollup
 from repro.flowmeter.meter import FlowMeter
 from repro.net.packet import IPProtocol, Packet, TCPFlags
-from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+from repro.scenario import get_scenario
 
 
 def _packet_stream(n_flows=200, pkts_per_flow=50):
@@ -50,10 +50,12 @@ def test_micro_flowmeter_throughput(benchmark):
 
 @pytest.mark.benchmark(group="micro")
 def test_micro_generator_throughput(benchmark):
+    scenario = get_scenario("baseline-geo").with_overrides(
+        {"population.n_customers": 150, "workload.days": 2, "workload.seed": 9}
+    )
+
     def run():
-        return WorkloadGenerator(
-            WorkloadConfig(n_customers=150, days=2, seed=9)
-        ).generate()
+        return scenario.build_generator().generate()
 
     frame = benchmark(run)
     assert len(frame) > 50_000

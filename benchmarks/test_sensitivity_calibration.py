@@ -12,9 +12,8 @@ import pytest
 
 from repro.analysis.aggregate import format_table
 from repro.internet.geo import COUNTRIES
-from repro.satcom.channel import ChannelModel
 from repro.satcom.delay_model import SatelliteRttModel
-from repro.satcom.pep import PepCapacityModel
+from repro.scenario import get_scenario
 
 
 def _fig8_stats(model: SatelliteRttModel, rng) -> dict:
@@ -34,13 +33,16 @@ def _fig8_stats(model: SatelliteRttModel, rng) -> dict:
 
 
 def _sweep(rng):
+    baseline = get_scenario("baseline-geo")
     results = {}
     for pep_factor in (0.6, 1.0, 1.4):
         for decay_factor in (0.6, 1.0, 1.4):
-            model = SatelliteRttModel(
-                pep=PepCapacityModel(setup_scale_s=0.080 * pep_factor),
-                channel=ChannelModel(decay_deg=3.5 * decay_factor),
-            )
+            model = baseline.with_overrides(
+                {
+                    "pep.setup_scale_s": baseline.pep.setup_scale_s * pep_factor,
+                    "channel.decay_deg": baseline.channel.decay_deg * decay_factor,
+                }
+            ).build_rtt_model()
             results[(pep_factor, decay_factor)] = _fig8_stats(model, rng)
     return results
 

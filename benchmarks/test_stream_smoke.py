@@ -13,20 +13,22 @@ import time
 
 from conftest import RESULTS_DIR
 
+from repro.scenario import get_scenario
 from repro.stream import (
-    StreamConfig,
     StreamRollup,
     render_telemetry,
     rollup_path,
     run_stream_capture,
 )
-from repro.traffic.workload import WorkloadConfig
 
-SMOKE_CONFIG = StreamConfig(
-    workload=WorkloadConfig(n_customers=150, days=3, seed=2022),
-    window_days=1,
-    compress=False,
-)
+SMOKE_CONFIG = get_scenario("baseline-geo").with_overrides(
+    {
+        "population.n_customers": 150,
+        "workload.days": 3,
+        "stream.window_days": 1,
+        "execution.compress": False,
+    }
+).stream_config()
 
 #: Deliberately loose floor (shared CI runners are noisy); the recorded
 #: number in BENCH_stream.json is ~10x this.

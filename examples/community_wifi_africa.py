@@ -19,8 +19,8 @@ from repro.analysis.aggregate import format_table
 from repro.analysis.reports import fig4_diurnal, fig5_volumes, fig7_service_volume
 from repro.pipeline import generate_flow_dataset
 from repro.traffic.services import ServiceCategory
+from repro.scenario import get_scenario
 from repro.traffic.subscribers import SubscriberType
-from repro.traffic.workload import WorkloadConfig
 
 
 def per_type_breakdown(frame) -> str:
@@ -53,7 +53,10 @@ def per_type_breakdown(frame) -> str:
 
 
 def main() -> None:
-    frame, _ = generate_flow_dataset(WorkloadConfig(n_customers=500, days=4, seed=9))
+    scenario = get_scenario("baseline-geo").with_overrides(
+        {"population.n_customers": 500, "workload.days": 4, "workload.seed": 9}
+    )
+    frame, _ = generate_flow_dataset(scenario=scenario)
 
     print(per_type_breakdown(frame))
     print()

@@ -14,13 +14,16 @@ from __future__ import annotations
 
 from repro.analysis.reports import fig9_ground_rtt, fig10_dns, table2_resolver_rtt
 from repro.pipeline import generate_flow_dataset, generate_with_forced_resolver
-from repro.traffic.workload import WorkloadConfig
+from repro.scenario import get_scenario
 
-CONFIG = WorkloadConfig(n_customers=450, days=3, seed=17)
+SCENARIO = get_scenario("baseline-geo").with_overrides(
+    {"population.n_customers": 450, "workload.days": 3, "workload.seed": 17}
+)
+CONFIG = SCENARIO.workload_config()
 
 
 def main() -> None:
-    frame, _ = generate_flow_dataset(CONFIG)
+    frame, _ = generate_flow_dataset(scenario=SCENARIO)
 
     print(fig10_dns.render(fig10_dns.compute(frame)))
     print()

@@ -21,11 +21,14 @@ from repro.errant.emulator import Emulator, compare_profiles
 from repro.errant.model import fit_profile, load_profiles, save_profiles
 from repro.errant.profiles import BUILTIN_PROFILES
 from repro.pipeline import generate_flow_dataset
-from repro.traffic.workload import WorkloadConfig
+from repro.scenario import get_scenario
 
 
 def main() -> None:
-    frame, _ = generate_flow_dataset(WorkloadConfig(n_customers=400, days=3, seed=4))
+    scenario = get_scenario("baseline-geo").with_overrides(
+        {"population.n_customers": 400, "workload.days": 3, "workload.seed": 4}
+    )
+    frame, _ = generate_flow_dataset(scenario=scenario)
 
     profiles = dict(BUILTIN_PROFILES)
     for country in ("Spain", "Congo"):

@@ -24,7 +24,7 @@ import sys
 
 from repro.analysis.reports import fig2_country, fig8_satellite_rtt, table1_protocols
 from repro.pipeline import generate_flow_dataset
-from repro.traffic.workload import WorkloadConfig
+from repro.scenario import get_scenario
 
 
 def main() -> None:
@@ -32,9 +32,17 @@ def main() -> None:
     days = int(sys.argv[2]) if len(sys.argv) > 2 else 3
     workers = int(os.environ.get("REPRO_WORKERS", "1"))
 
+    scenario = get_scenario("baseline-geo").with_overrides(
+        {
+            "population.n_customers": n_customers,
+            "workload.days": days,
+            "workload.seed": 1,
+            "execution.workers": workers,
+        }
+    )
     print(f"Generating {days} days of traffic for {n_customers} customers...")
     frame, generator = generate_flow_dataset(
-        WorkloadConfig(n_customers=n_customers, days=days, seed=1, n_workers=workers),
+        scenario=scenario,
         cache=bool(os.environ.get("REPRO_CACHE")),
     )
     print(f"Captured {len(frame):,} flows from {len(generator.population)} customers "

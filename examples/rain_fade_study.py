@@ -18,6 +18,7 @@ from repro.analysis.aggregate import format_table
 from repro.internet.geo import COUNTRIES
 from repro.satcom.channel import RainFadeProcess
 from repro.satcom.delay_model import SatelliteRttModel
+from repro.scenario import get_scenario
 
 
 def sample_with_weather(
@@ -51,7 +52,7 @@ def sample_with_weather(
 
 
 def main() -> None:
-    model = SatelliteRttModel()
+    model = get_scenario("baseline-geo").build_rtt_model()
     rng = np.random.default_rng(11)
 
     scenarios = {

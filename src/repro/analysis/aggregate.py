@@ -9,7 +9,7 @@ import numpy as np
 from repro.analysis.dataset import FlowFrame
 from repro.constants import ACTIVE_CUSTOMER_FLOW_THRESHOLD
 from repro.flowmeter.records import L7Protocol, L7_ORDER
-from repro.internet.geo import COUNTRIES
+from repro.internet.geo import COUNTRIES, lon_hour_shift
 
 
 def protocol_volume_share(frame: FlowFrame, mask: Optional[np.ndarray] = None) -> Dict[str, float]:
@@ -79,7 +79,8 @@ def hourly_volume_utc(frame: FlowFrame, country: str, robust: bool = True) -> np
 def local_hour_of(frame: FlowFrame) -> np.ndarray:
     """Approximate local hour per flow (longitude/15 offset)."""
     offsets = np.array(
-        [COUNTRIES[name].lon_deg / 15.0 for name in frame.countries], dtype=np.float64
+        [lon_hour_shift(COUNTRIES[name]) for name in frame.countries],
+        dtype=np.float64,
     )
     return (frame.hour_utc + offsets[frame.country_idx]) % 24.0
 

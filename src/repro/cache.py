@@ -37,7 +37,10 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.analysis.dataset import FlowFrame
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario import Scenario
     from repro.traffic.workload import WorkloadConfig
+
+    ConfigLike = Union[WorkloadConfig, Scenario]
 
 #: Bump whenever a generator change alters the sampled flows for an
 #: unchanged config (new RNG consumption order, new column, new model).
@@ -49,26 +52,44 @@ _EXECUTION_ONLY_FIELDS = frozenset({"n_workers"})
 
 
 def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
     return Path.home() / ".cache" / "repro"
 
 
-def stream_capture_key(config: "WorkloadConfig", window_days: int) -> str:
+def capture_key(config: "ConfigLike") -> str:
+    """The cache identity of whatever ``config`` generates.
+
+    Accepts either a legacy :class:`WorkloadConfig` (hashed field by
+    field via :func:`config_cache_key`) or anything carrying a
+    ``digest()`` method — i.e. a :class:`repro.scenario.Scenario`,
+    whose digest deliberately collapses to the legacy key when its
+    model sections sit at the baseline defaults.
+    """
+    digest = getattr(config, "digest", None)
+    if callable(digest):
+        return digest()
+    return config_cache_key(config)
+
+
+def stream_capture_key(config: "ConfigLike", window_days: int) -> str:
     """Hex digest identifying a *streaming* capture directory.
 
     Streaming captures sample per (shard, window) RNG streams, so the
     window plan is content the way ``n_shards`` is: the same workload
     config cut into different windows yields different flows. The key
-    therefore extends :func:`config_cache_key` with the window length
+    therefore extends :func:`capture_key` with the window length
     (and a stream schema salt), and is what checkpoint/resume verifies
     before continuing a half-written capture directory.
     """
     blob = json.dumps(
         {
-            "capture": config_cache_key(config),
+            "capture": capture_key(config),
             "window_days": int(window_days),
             "stream_salt": "repro-stream-v1",
         },
@@ -97,11 +118,15 @@ class CaptureCache:
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
 
-    def path_for(self, config: "WorkloadConfig") -> Path:
-        """Where the capture for ``config`` lives (existing or not)."""
-        return self.directory / f"capture-{config_cache_key(config)}.npz"
+    def path_for(self, config: "ConfigLike") -> Path:
+        """Where the capture for ``config`` lives (existing or not).
 
-    def load(self, config: "WorkloadConfig") -> Optional[FlowFrame]:
+        ``config`` may be a :class:`WorkloadConfig` or a scenario — the
+        filename is keyed by :func:`capture_key` either way.
+        """
+        return self.directory / f"capture-{capture_key(config)}.npz"
+
+    def load(self, config: "ConfigLike") -> Optional[FlowFrame]:
         """The cached capture for ``config``, or ``None`` on a miss.
 
         A corrupt entry (torn by an old non-atomic writer, truncated
@@ -116,7 +141,7 @@ class CaptureCache:
             path.unlink(missing_ok=True)
             return None
 
-    def store(self, config: "WorkloadConfig", frame: FlowFrame) -> Path:
+    def store(self, config: "ConfigLike", frame: FlowFrame) -> Path:
         """Atomically publish ``frame`` as the capture for ``config``."""
         path = self.path_for(config)
         self.directory.mkdir(parents=True, exist_ok=True)

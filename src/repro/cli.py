@@ -2,10 +2,13 @@
 
     python -m repro generate  --customers 600 --days 5 --out capture.npz \
                               [--workers 4] [--cache [--cache-dir DIR]]
+    python -m repro generate  --scenario congested-beam --set workload.days=3
     python -m repro stream    --customers 600 --days 30 --dir capture/ \
                               [--window-days 1] [--resume]
+    python -m repro scenarios [--names]
     python -m repro stream-report --dir capture/ --which fig2,fig5
     python -m repro report    --dataset capture.npz --which table1,fig2
+    python -m repro report    --scenario leo --which fig8
     python -m repro scorecard --dataset capture.npz
     python -m repro packet-sim
     python -m repro errant    --dataset capture.npz --country Spain --netem
@@ -18,27 +21,39 @@ requested tables/figures; ``scorecard`` prints the calibration
 scorecard; ``packet-sim`` runs the Figure 1 packet-level validation;
 ``errant`` fits and compares access-link profiles.
 
+``generate``, ``stream``, ``report`` and ``scorecard`` all take
+``--scenario NAME|file.toml`` plus repeatable ``--set key=value``
+dotted-path overrides (see :mod:`repro.scenario`; ``repro scenarios``
+lists the registry). Without ``--scenario`` the built-in
+``baseline-geo`` is used, which is bit-identical to the pre-scenario
+defaults. Explicit flags (``--customers``, ``--days``, ``--seed``,
+``--workers``, ``--window-days``) beat ``--set``, which beats the
+scenario file.
+
 ``report``, ``stream-report``, ``scorecard`` and ``errant`` accept a
 frame ``.npz``, a stream capture directory, or a bare rollup ``.npz``
 interchangeably — :func:`repro.analysis.source.load_capture`
 auto-detects the shape and every report dispatches through
-:mod:`repro.analysis.registry`.
+:mod:`repro.analysis.registry`. ``report``/``scorecard`` without
+``--dataset`` generate the scenario's capture through the cache first.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.validation import build_scorecard
-from repro.traffic.workload import WorkloadConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario import Scenario
 
 
 def _worker_count(value: str) -> int:
     """Positive worker count, or ``auto`` for one per core."""
     if value.strip().lower() == "auto":
-        return 0  # WorkloadConfig.n_workers: 0 = one per core
+        return 0  # ExecutionSpec.workers: 0 = one per core
     try:
         parsed = int(value)
     except ValueError:
@@ -52,25 +67,89 @@ def _worker_count(value: str) -> int:
     return parsed
 
 
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {parsed}"
+        )
+    return parsed
+
+
+def _scenario_parent() -> argparse.ArgumentParser:
+    """Shared ``--scenario``/``--set`` flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME|PATH",
+        help="a registered scenario (see `repro scenarios`) or a "
+        ".toml/.json scenario file; default baseline-geo",
+    )
+    parent.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted-path scenario override, repeatable "
+        "(e.g. --set beams.utilization_scale=1.2)",
+    )
+    return parent
+
+
+def _workload_parent() -> argparse.ArgumentParser:
+    """Shared workload flags of ``generate`` and ``stream``.
+
+    Defaults are ``None`` so the scenario's values apply unless the
+    flag is given explicitly — explicit flags beat ``--set``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--customers",
+        type=_positive_int,
+        default=None,
+        help="subscriber count (default: scenario value, 600)",
+    )
+    parent.add_argument(
+        "--days",
+        type=_positive_int,
+        default=None,
+        help="simulated days (default: scenario value, 5)",
+    )
+    parent.add_argument(
+        "--seed", type=int, default=None, help="RNG seed (default 2022)"
+    )
+    parent.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        help="worker processes (a positive integer, or 'auto' for one "
+        "per core); output is identical for any worker count",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'When Satellite is All You Have' (IMC 2022)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scenario_parent = _scenario_parent()
+    workload_parent = _workload_parent()
 
-    gen = sub.add_parser("generate", help="synthesize a flow capture")
-    gen.add_argument("--customers", type=int, default=600)
-    gen.add_argument("--days", type=int, default=5)
-    gen.add_argument("--seed", type=int, default=2022)
-    gen.add_argument("--out", default="capture.npz")
-    gen.add_argument(
-        "--workers",
-        type=_worker_count,
-        default=1,
-        help="worker processes (a positive integer, or 'auto' for one "
-        "per core); output is identical for any worker count",
+    gen = sub.add_parser(
+        "generate",
+        help="synthesize a flow capture",
+        parents=[scenario_parent, workload_parent],
     )
+    gen.add_argument("--out", default="capture.npz")
     gen.add_argument(
         "--cache",
         action="store_true",
@@ -80,31 +159,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="cache directory (implies --cache; default $REPRO_CACHE_DIR "
-        "or ~/.cache/repro)",
+        help="cache directory (implies --cache; default $REPRO_CACHE_DIR, "
+        "$XDG_CACHE_HOME/repro, or ~/.cache/repro)",
     )
 
     stream = sub.add_parser(
         "stream",
         help="run a bounded-memory streaming capture into a directory",
+        parents=[scenario_parent, workload_parent],
     )
-    stream.add_argument("--customers", type=int, default=600)
-    stream.add_argument("--days", type=int, default=5)
-    stream.add_argument("--seed", type=int, default=2022)
     stream.add_argument(
         "--window-days",
-        type=int,
-        default=1,
+        type=_positive_int,
+        default=None,
         help="simulated days per window (part of the capture key)",
     )
     stream.add_argument("--dir", required=True, help="capture directory")
-    stream.add_argument(
-        "--workers",
-        type=_worker_count,
-        default=1,
-        help="worker processes (a positive integer, or 'auto' for one "
-        "per core); output is identical for any worker count",
-    )
     stream.add_argument(
         "--resume",
         action="store_true",
@@ -120,6 +190,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-compress",
         action="store_true",
         help="spill raw npz windows (faster, ~3x more disk)",
+    )
+
+    scen = sub.add_parser(
+        "scenarios", help="list the registered scenarios and their digests"
+    )
+    scen.add_argument(
+        "--names",
+        action="store_true",
+        help="print bare names only (for scripting)",
     )
 
     from repro.analysis import registry
@@ -143,12 +222,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"comma list from {{{rollup_reports}}} or 'all'",
     )
 
-    rep = sub.add_parser("report", help="regenerate tables/figures")
+    rep = sub.add_parser(
+        "report",
+        help="regenerate tables/figures",
+        parents=[scenario_parent],
+    )
     rep.add_argument(
         "--dataset",
-        required=True,
+        default=None,
         help="frame .npz, stream capture directory, or rollup .npz "
-        "(auto-detected)",
+        "(auto-detected); omitted: generate the scenario's capture "
+        "through the cache",
     )
     rep.add_argument(
         "--which",
@@ -156,11 +240,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"comma list from {{{all_reports}}} or 'all'",
     )
 
-    score = sub.add_parser("scorecard", help="calibration scorecard")
+    score = sub.add_parser(
+        "scorecard",
+        help="calibration scorecard",
+        parents=[scenario_parent],
+    )
     score.add_argument(
         "--dataset",
-        required=True,
-        help="frame .npz or stream capture directory (auto-detected)",
+        default=None,
+        help="frame .npz or stream capture directory (auto-detected); "
+        "omitted: generate the scenario's capture through the cache",
     )
 
     sub.add_parser("packet-sim", help="packet-level methodology validation")
@@ -179,43 +268,78 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenario_from_args(args: argparse.Namespace) -> "Scenario":
+    """Resolve ``--scenario``, apply ``--set``, then explicit flags.
+
+    Precedence: scenario file < ``--set`` < explicit flags. Raises
+    :class:`~repro.scenario.ScenarioError` (mapped to exit 2 by
+    :func:`main`) on unknown names, paths, or invalid values.
+    """
+    from repro.scenario import ScenarioError, resolve_scenario
+
+    scenario = resolve_scenario(args.scenario or "baseline-geo")
+    overrides = {}
+    for item in args.overrides:
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ScenarioError(item, "--set expects KEY=VALUE")
+        overrides[key.strip()] = value
+    scenario = scenario.with_overrides(overrides)
+    flags = {}
+    if getattr(args, "customers", None) is not None:
+        flags["population.n_customers"] = args.customers
+    if getattr(args, "days", None) is not None:
+        flags["workload.days"] = args.days
+    if getattr(args, "seed", None) is not None:
+        flags["workload.seed"] = args.seed
+    if getattr(args, "workers", None) is not None:
+        flags["execution.workers"] = args.workers
+    if getattr(args, "window_days", None) is not None:
+        flags["stream.window_days"] = args.window_days
+    if getattr(args, "no_compress", False):
+        flags["execution.compress"] = False
+    return scenario.with_overrides(flags, source="flag")
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     import time
 
     from repro.pipeline import generate_flow_dataset
 
-    config = WorkloadConfig(
-        n_customers=args.customers,
-        days=args.days,
-        seed=args.seed,
-        n_workers=args.workers,
-    )
+    scenario = _scenario_from_args(args)
     cache = args.cache_dir if args.cache_dir is not None else bool(args.cache)
     started = time.perf_counter()
-    frame, generator = generate_flow_dataset(config, cache=cache)
+    frame, generator = generate_flow_dataset(scenario=scenario, cache=cache)
     elapsed = time.perf_counter() - started
     frame.save_npz(args.out)
+    workers = scenario.execution.workers
     print(
         f"wrote {args.out}: {len(frame):,} flows, "
-        f"{len(generator.population)} customers, {args.days} days "
-        f"({elapsed:.1f} s with {args.workers or 'auto'} worker(s))"
+        f"{len(generator.population)} customers, {scenario.workload.days} days "
+        f"(scenario {scenario.name}, digest {scenario.digest()}; "
+        f"{elapsed:.1f} s with {workers or 'auto'} worker(s))"
     )
     return 0
 
 
-def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream import StreamConfig, render_telemetry, run_stream_capture
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenario import get_scenario, scenario_names
 
-    config = StreamConfig(
-        workload=WorkloadConfig(
-            n_customers=args.customers,
-            days=args.days,
-            seed=args.seed,
-            n_workers=args.workers,
-        ),
-        window_days=args.window_days,
-        compress=not args.no_compress,
-    )
+    if args.names:
+        for name in scenario_names():
+            print(name)
+        return 0
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        print(f"{name:{width}s}  {scenario.digest()}  {scenario.description}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import render_telemetry, run_stream_capture
+
+    config = _scenario_from_args(args).stream_config()
     result = run_stream_capture(
         config,
         args.dir,
@@ -297,8 +421,25 @@ def _cmd_stream_report(args: argparse.Namespace) -> int:
     return _run_reports(source, args.which, prefer="rollup")
 
 
+def _source_from_args(args: argparse.Namespace):
+    """``--dataset`` capture, or the scenario's capture via the cache."""
+    if args.dataset is not None:
+        return _open_capture(args.dataset)
+    from repro.analysis.source import FrameSource
+    from repro.pipeline import generate_flow_dataset
+
+    scenario = _scenario_from_args(args)
+    print(
+        f"generating scenario {scenario.name} "
+        f"(digest {scenario.digest()}) through the cache",
+        file=sys.stderr,
+    )
+    frame, _ = generate_flow_dataset(scenario=scenario, cache=True)
+    return FrameSource(frame)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    source = _open_capture(args.dataset)
+    source = _source_from_args(args)
     if source is None:
         return 2
     return _run_reports(source, args.which)
@@ -307,7 +448,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_scorecard(args: argparse.Namespace) -> int:
     from repro.analysis.source import CaptureError
 
-    source = _open_capture(args.dataset)
+    source = _source_from_args(args)
     if source is None:
         return 2
     try:
@@ -392,6 +533,7 @@ def _cmd_mixed_sim(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "stream": _cmd_stream,
+    "scenarios": _cmd_scenarios,
     "stream-report": _cmd_stream_report,
     "report": _cmd_report,
     "scorecard": _cmd_scorecard,
@@ -403,8 +545,14 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (returns an exit code)."""
+    from repro.scenario import ScenarioError
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

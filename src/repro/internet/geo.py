@@ -30,6 +30,21 @@ class Location:
         return self.name
 
 
+def lon_hour_shift(location: Location) -> float:
+    """Hours ahead of UTC at ``location``'s longitude (15° per hour)."""
+    return location.lon_deg / 15.0
+
+
+def local_hour(location: Location, hour_utc):
+    """Approximate local time from longitude. Accepts scalar or ndarray."""
+    return (hour_utc + location.lon_deg / 15.0) % 24.0
+
+
+def utc_hour(location: Location, hour_local):
+    """Inverse of :func:`local_hour`. Accepts scalar or ndarray."""
+    return (hour_local - location.lon_deg / 15.0) % 24.0
+
+
 SATELLITE_LONGITUDE_DEG = 9.0
 """Orbital slot of the monitored GEO satellite (degrees East). Chosen so
 the footprint spans Ireland to South Africa with Ireland at the coverage

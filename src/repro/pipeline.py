@@ -13,7 +13,7 @@ Two entry points mirror the reproduction's two fidelity levels:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.simnet.engine import Simulator
 from repro.traffic.services import SERVICES
 from repro.traffic.subscribers import Population, synthesize_population
 from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario import Scenario
 
 
 @dataclass
@@ -67,13 +70,17 @@ class PacketSimResult:
         return [r for r in self.records if r.l7.value == "udp/dns"]
 
 
-def run_packet_simulation(config: Optional[PacketSimConfig] = None) -> PacketSimResult:
+def run_packet_simulation(
+    config: Optional[PacketSimConfig] = None,
+    scenario: Optional["Scenario"] = None,
+) -> PacketSimResult:
     """Drive TLS downloads and DNS lookups through the packet network.
 
     Each customer opens ``flows_per_customer`` TLS connections (staggered)
     to a CDN server plus one DNS query; the flow meter observes the
     ground station. The result carries app-side ground truth so tests
-    can check the probe's estimators.
+    can check the probe's estimators. ``scenario`` selects which
+    satellite model the packets traverse (default: ``baseline-geo``).
     """
     config = config or PacketSimConfig()
     sim = Simulator()
@@ -85,7 +92,12 @@ def run_packet_simulation(config: Optional[PacketSimConfig] = None) -> PacketSim
     )
     rng = np.random.default_rng(config.seed)
     network = SatComPacketNetwork(
-        sim, internet, meter=meter, rng=rng, hour_utc=config.hour_utc
+        sim,
+        internet,
+        rtt_model=scenario.build_rtt_model() if scenario is not None else None,
+        meter=meter,
+        rng=rng,
+        hour_utc=config.hour_utc,
     )
 
     server = network.add_server(
@@ -266,20 +278,42 @@ def generate_flow_dataset(
     internet: Optional[InternetModel] = None,
     population: Optional[Population] = None,
     cache=None,
+    scenario: Optional["Scenario"] = None,
 ) -> Tuple[FlowFrame, WorkloadGenerator]:
     """Generate the flow-level synthetic capture.
+
+    ``scenario`` builds the whole generator (models, plan mix, workload)
+    from one :class:`~repro.scenario.Scenario`; it is mutually
+    exclusive with ``config``/``rtt_model``/``internet``/``population``
+    and caches by the scenario digest.
 
     ``cache`` may be ``True`` (default cache dir), a directory path, or
     a :class:`~repro.cache.CaptureCache`; the capture is then loaded
     from — or generated once and stored into — the content-keyed cache
-    (see :mod:`repro.cache`). Caching only engages when the generator
-    is built purely from ``config``: custom ``rtt_model`` / ``internet``
-    / ``population`` objects are not part of the cache key, so passing
-    any of them bypasses the cache rather than risking a wrong hit.
+    (see :mod:`repro.cache`). In the legacy-config form caching only
+    engages when the generator is built purely from ``config``: custom
+    ``rtt_model`` / ``internet`` / ``population`` objects are not part
+    of the cache key, so passing any of them bypasses the cache rather
+    than risking a wrong hit.
     """
     from repro.cache import resolve_cache
 
     capture_cache = resolve_cache(cache)
+    if scenario is not None:
+        if any(o is not None for o in (config, rtt_model, internet, population)):
+            raise ValueError(
+                "scenario= is mutually exclusive with "
+                "config/rtt_model/internet/population"
+            )
+        if capture_cache is not None:
+            cached = capture_cache.load(scenario)
+            if cached is not None:
+                return cached, scenario.build_generator()
+        generator = scenario.build_generator()
+        frame = generator.generate()
+        if capture_cache is not None:
+            capture_cache.store(scenario, frame)
+        return frame, generator
     if capture_cache is not None and any(
         override is not None for override in (rtt_model, internet, population)
     ):
@@ -306,9 +340,11 @@ def generate_with_forced_resolver(
     resolver_name: str, config: Optional[WorkloadConfig] = None
 ) -> Tuple[FlowFrame, WorkloadGenerator]:
     """Ablation of Section 6.4: every customer on one resolver."""
+    from repro.scenario import get_scenario
+
     config = config or WorkloadConfig()
     rng = np.random.default_rng(config.seed)
-    rtt_model = SatelliteRttModel()
+    rtt_model = get_scenario("baseline-geo").build_rtt_model()
     population = synthesize_population(
         config.n_customers,
         rng,

@@ -22,17 +22,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.internet.geo import COUNTRIES, Location
+from repro.internet.geo import COUNTRIES, Location, local_hour
 from repro.satcom.beams import Beam, BeamMap, build_default_beam_map
 from repro.satcom.channel import ChannelModel
 from repro.satcom.geometry import SatelliteGeometry
 from repro.satcom.mac import SlottedAlohaModel, TdmaModel
 from repro.satcom.pep import PepCapacityModel
 
-
-def local_hour(country: Location, hour_utc: float) -> float:
-    """Approximate local time from longitude (15° per hour)."""
-    return (hour_utc + country.lon_deg / 15.0) % 24.0
+__all__ = ["SatelliteRttModel", "local_hour"]
 
 
 @dataclass

@@ -82,6 +82,30 @@ class LeoShell:
         return 2.0 * one_way + processing
 
 
+@dataclass(frozen=True)
+class LeoGeometryAdapter:
+    """A :class:`LeoShell` behind the GEO geometry duck-type.
+
+    ``SatelliteRttModel`` only asks its geometry for a per-location
+    propagation floor and an elevation angle, so a LEO shell can stand
+    in for the GEO bird: the floor is the shell's mid-range RTT (the
+    satellite overhead moves, so no single location-dependent figure
+    exists) and the elevation is a typical mid-cap pass. This is what
+    lets the ``leo`` scenario reuse the entire MAC/PEP/channel stack
+    with LEO-scale constants.
+    """
+
+    shell: LeoShell = LeoShell()
+    typical_elevation_deg: float = 50.0
+
+    def propagation_rtt_s(self, location) -> float:
+        """Mid-range shell RTT — location-independent for a moving shell."""
+        return 0.5 * (self.shell.min_rtt_s() + self.shell.max_rtt_s())
+
+    def elevation_angle_deg(self, location) -> float:
+        return self.typical_elevation_deg
+
+
 def geo_vs_leo_floor_ratio() -> float:
     """How many times higher the GEO propagation floor sits (~50–70×)."""
     from repro.satcom.geometry import SatelliteGeometry

@@ -24,7 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.flowmeter.meter import FlowMeter
-from repro.internet.geo import COUNTRIES, Location
+from repro.internet.geo import COUNTRIES, Location, local_hour
 from repro.internet.resolvers import Resolver
 from repro.internet.topology import InternetModel
 from repro.net.inet import ip_to_int
@@ -32,7 +32,7 @@ from repro.net.packet import IPProtocol, Packet
 from repro.net.tcp import TcpEndpoint
 from repro.protocols import dns as dnsproto
 from repro.satcom.beams import Beam
-from repro.satcom.delay_model import SatelliteRttModel, local_hour
+from repro.satcom.delay_model import SatelliteRttModel
 from repro.satcom.pep import TunnelMessage, TunnelMessageType
 from repro.satcom.plans import PLANS, Plan
 from repro.simnet.engine import Simulator
@@ -419,7 +419,12 @@ class SatComPacketNetwork:
     ) -> None:
         self.sim = sim
         self.internet = internet
-        self.rtt_model = rtt_model or SatelliteRttModel()
+        if rtt_model is None:
+            # the baseline scenario owns the default model tree
+            from repro.scenario import get_scenario
+
+            rtt_model = get_scenario("baseline-geo").build_rtt_model()
+        self.rtt_model = rtt_model
         self.geometry = self.rtt_model.geometry
         self.meter = meter
         self.rng = rng or np.random.default_rng(0)

@@ -55,7 +55,11 @@ def run_qos_scenario(
 ) -> QosScenarioResult:
     """Run the scenario; with ``use_scheduler=False`` the link is a
     single FIFO (every class suffers the bulk/video queue)."""
-    config = config or QosScenarioConfig()
+    if config is None:
+        # the baseline scenario owns the default QoS knobs
+        from repro.scenario import get_scenario
+
+        config = get_scenario("baseline-geo").qos_config()
     sim = Simulator()
     rng = np.random.default_rng(config.seed)
 

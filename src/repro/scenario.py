@@ -1,0 +1,907 @@
+"""One declarative scenario tree for every operator knob.
+
+The paper's analyses are all conditioned on operator configuration —
+beam capacities, TDMA framing, PEP saturation, QoS shaping, the plan
+mix (Sections 2.1–2.2, Figures 8/11). This module gathers those knobs,
+previously scattered as dataclass defaults across ``satcom/*`` and four
+unrelated config objects (``WorkloadConfig``, ``StreamConfig``,
+``PacketSimConfig``, ``QosScenarioConfig``), into a single typed
+:class:`Scenario` tree:
+
+``geometry``   orbital regime (GEO slot or a LEO shell)
+``beams``      load scaling and beam outages on the default beam plan
+``mac``        TDMA/Aloha framing and the stack-processing delays
+``channel``    FEC residual error / ARQ recovery knobs
+``pep``        PEP setup/forwarding saturation knobs
+``qos``        the QoS micro-simulation's offered load and shaping
+``plans``      commercial plan mix per continent (Section 6.5)
+``population`` who subscribes (count, countries)
+``workload``   what they do (days, seed, flow scaling, DNS rate)
+``stream``     windowing of streaming captures (content)
+``execution``  workers / spill compression (never content)
+
+A scenario can be loaded from TOML or JSON (sparse: unspecified fields
+keep the baseline defaults), overridden with dotted ``--set`` paths
+(override precedence beats file values), and is validated field by
+field with **path-qualified** :class:`ScenarioError` messages
+(``beams.utilization_scale: must be > 0``).
+
+:meth:`Scenario.digest` is *the* cache identity of the capture the
+scenario generates. When every model section sits at the baseline
+defaults the digest deliberately equals the legacy
+:func:`repro.cache.config_cache_key` of the mapped ``WorkloadConfig``,
+so warm caches (and half-written stream checkpoints) survive the
+refactor; any model deviation switches to a full-tree digest. The
+``qos`` section never contributes — the QoS micro-sim is self-contained
+and does not shape the capture. ``execution`` never contributes either.
+
+Named scenarios live in a registry (:func:`get_scenario`,
+:func:`scenario_names`): ``baseline-geo`` (bit-identical to the
+pre-scenario defaults), ``congested-beam``, ``beam-outage``, ``leo``
+and ``heavy-growth``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+    get_args,
+    get_origin,
+    get_type_hints,
+)
+
+from repro.constants import ALOHA_SLOT_S, TDMA_FRAME_S
+from repro.internet.geo import COUNTRIES, SATELLITE_LONGITUDE_DEG
+from repro.satcom.beams import Beam, BeamMap, build_default_beam_map
+from repro.satcom.channel import ChannelModel
+from repro.satcom.geometry import SatelliteGeometry
+from repro.satcom.leo import LeoGeometryAdapter, LeoShell
+from repro.satcom.mac import SlottedAlohaModel, TdmaModel
+from repro.satcom.pep import PepCapacityModel
+from repro.satcom.plans import PLAN_MIX_BY_CONTINENT, PLANS
+from repro.satcom.qos_sim import QosScenarioConfig
+from repro.traffic.workload import WorkloadConfig
+
+#: Bump together with schema changes that alter what a digest covers.
+SCENARIO_SALT = "repro-scenario-v1"
+
+
+class ScenarioError(ValueError):
+    """Invalid scenario content, qualified by the offending field path."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+# --------------------------------------------------------------------------
+# Sections
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """Orbital regime: the monitored GEO bird, or a LEO shell."""
+
+    orbit: str = "geo"
+    satellite_longitude_deg: float = SATELLITE_LONGITUDE_DEG
+    leo_altitude_km: float = 550.0
+    leo_min_elevation_deg: float = 25.0
+    leo_typical_elevation_deg: float = 50.0
+
+    def _validate(self, path: str) -> None:
+        if self.orbit not in ("geo", "leo"):
+            raise ScenarioError(f"{path}.orbit", "must be 'geo' or 'leo'")
+        if not -180.0 <= self.satellite_longitude_deg <= 180.0:
+            raise ScenarioError(
+                f"{path}.satellite_longitude_deg", "must be in [-180, 180]"
+            )
+        if not 200.0 <= self.leo_altitude_km <= 2000.0:
+            raise ScenarioError(f"{path}.leo_altitude_km", "must be in [200, 2000]")
+        if not 5.0 <= self.leo_min_elevation_deg < 90.0:
+            raise ScenarioError(
+                f"{path}.leo_min_elevation_deg", "must be in [5, 90)"
+            )
+        if not self.leo_min_elevation_deg <= self.leo_typical_elevation_deg <= 90.0:
+            raise ScenarioError(
+                f"{path}.leo_typical_elevation_deg",
+                "must be in [leo_min_elevation_deg, 90]",
+            )
+
+
+@dataclass(frozen=True)
+class BeamsSpec:
+    """Transformations of the default beam plan (Section 6.1)."""
+
+    utilization_scale: float = 1.0
+    pep_scale: float = 1.0
+    outages: Tuple[str, ...] = ()
+    load_cap: float = 0.97
+    """Loads are clipped here after scaling (``Beam`` requires < 1)."""
+
+    def _validate(self, path: str) -> None:
+        if not 0.0 < self.utilization_scale <= 3.0:
+            raise ScenarioError(f"{path}.utilization_scale", "must be in (0, 3]")
+        if not 0.0 < self.pep_scale <= 3.0:
+            raise ScenarioError(f"{path}.pep_scale", "must be in (0, 3]")
+        if not 0.0 < self.load_cap < 1.0:
+            raise ScenarioError(f"{path}.load_cap", "must be in (0, 1)")
+        known = {beam.beam_id for beam in build_default_beam_map().beams}
+        for beam_id in self.outages:
+            if beam_id not in known:
+                raise ScenarioError(
+                    f"{path}.outages",
+                    f"unknown beam {beam_id!r} (known: {', '.join(sorted(known))})",
+                )
+        by_country: Dict[str, List[str]] = {}
+        for beam in build_default_beam_map().beams:
+            by_country.setdefault(beam.country, []).append(beam.beam_id)
+        for country, ids in by_country.items():
+            if all(beam_id in self.outages for beam_id in ids):
+                raise ScenarioError(
+                    f"{path}.outages",
+                    f"cannot take every beam of {country} out of service",
+                )
+
+
+@dataclass(frozen=True)
+class MacSpec:
+    """Return-link MAC framing plus the SatCom stack's processing delays."""
+
+    tdma_frame_s: float = TDMA_FRAME_S
+    max_queue_frames: float = 10.0
+    aloha_slot_s: float = ALOHA_SLOT_S
+    reservation_rtt_s: float = 0.52
+    max_backoff_slots: int = 64
+    contention_fraction: float = 0.12
+    base_processing_s: float = 0.020
+    terminal_median_s: float = 0.030
+    terminal_sigma: float = 0.85
+    stack_jitter_median_s: float = 0.095
+    stack_jitter_sigma: float = 1.0
+
+    def _validate(self, path: str) -> None:
+        for name in (
+            "tdma_frame_s",
+            "aloha_slot_s",
+            "reservation_rtt_s",
+            "terminal_median_s",
+            "stack_jitter_median_s",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ScenarioError(f"{path}.{name}", "must be > 0")
+        for name in ("base_processing_s", "terminal_sigma", "stack_jitter_sigma"):
+            if getattr(self, name) < 0.0:
+                raise ScenarioError(f"{path}.{name}", "must be >= 0")
+        if self.max_queue_frames <= 0.0:
+            raise ScenarioError(f"{path}.max_queue_frames", "must be > 0")
+        if self.max_backoff_slots < 1:
+            raise ScenarioError(f"{path}.max_backoff_slots", "must be >= 1")
+        if not 0.0 <= self.contention_fraction <= 1.0:
+            raise ScenarioError(f"{path}.contention_fraction", "must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Residual FEC error / ARQ recovery (Ireland's edge-of-coverage tail)."""
+
+    floor_probability: float = 0.002
+    edge_probability: float = 0.55
+    reference_elevation_deg: float = 20.0
+    decay_deg: float = 3.5
+    arq_rtt_s: float = 0.52
+
+    def _validate(self, path: str) -> None:
+        if not 0.0 <= self.floor_probability < 1.0:
+            raise ScenarioError(f"{path}.floor_probability", "must be in [0, 1)")
+        if not 0.0 <= self.edge_probability <= 1.0:
+            raise ScenarioError(f"{path}.edge_probability", "must be in [0, 1]")
+        if self.reference_elevation_deg < 0.0:
+            raise ScenarioError(f"{path}.reference_elevation_deg", "must be >= 0")
+        if self.decay_deg <= 0.0:
+            raise ScenarioError(f"{path}.decay_deg", "must be > 0")
+        if self.arq_rtt_s <= 0.0:
+            raise ScenarioError(f"{path}.arq_rtt_s", "must be > 0")
+
+
+@dataclass(frozen=True)
+class PepSpec:
+    """PEP processing saturation (Section 6.1's congestion mechanism)."""
+
+    setup_scale_s: float = 0.080
+    setup_sigma: float = 1.1
+    forward_scale_s: float = 0.010
+    max_load_ratio: float = 10.0
+
+    def _validate(self, path: str) -> None:
+        if self.setup_scale_s < 0.0:
+            raise ScenarioError(f"{path}.setup_scale_s", "must be >= 0")
+        if self.setup_sigma < 0.0:
+            raise ScenarioError(f"{path}.setup_sigma", "must be >= 0")
+        if self.forward_scale_s < 0.0:
+            raise ScenarioError(f"{path}.forward_scale_s", "must be >= 0")
+        if self.max_load_ratio <= 0.0:
+            raise ScenarioError(f"{path}.max_load_ratio", "must be > 0")
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """The QoS micro-simulation's link and shaping knobs.
+
+    Never part of the capture digest: the micro-sim is self-contained
+    and does not shape the generated flows.
+    """
+
+    link_rate_bps: float = 20e6
+    duration_s: float = 20.0
+    seed: int = 0
+    video_shape_bps: Optional[float] = 6e6
+
+    def _validate(self, path: str) -> None:
+        if self.link_rate_bps <= 0.0:
+            raise ScenarioError(f"{path}.link_rate_bps", "must be > 0")
+        if self.duration_s <= 0.0:
+            raise ScenarioError(f"{path}.duration_s", "must be > 0")
+        if self.video_shape_bps is not None and self.video_shape_bps <= 0.0:
+            raise ScenarioError(f"{path}.video_shape_bps", "must be > 0 or null")
+
+
+def _default_mix(continent: str) -> Dict[str, float]:
+    return dict(PLAN_MIX_BY_CONTINENT[continent])
+
+
+@dataclass(frozen=True)
+class PlansSpec:
+    """Commercial plan adoption per continent (Section 6.5)."""
+
+    europe_mix: Dict[str, float] = field(
+        default_factory=lambda: _default_mix("Europe")
+    )
+    africa_mix: Dict[str, float] = field(
+        default_factory=lambda: _default_mix("Africa")
+    )
+
+    def __post_init__(self) -> None:
+        # Canonical plan-catalog order: the mix feeds an rng.choice over
+        # dict order, so two files listing the same weights in different
+        # order must still sample identically (and digest identically).
+        for name in ("europe_mix", "africa_mix"):
+            mix = getattr(self, name)
+            ordered = {plan: mix[plan] for plan in PLANS if plan in mix}
+            ordered.update({plan: mix[plan] for plan in mix if plan not in PLANS})
+            object.__setattr__(self, name, ordered)
+
+    def _validate(self, path: str) -> None:
+        for name in ("europe_mix", "africa_mix"):
+            mix = getattr(self, name)
+            if not mix:
+                raise ScenarioError(f"{path}.{name}", "must not be empty")
+            for plan, weight in mix.items():
+                if plan not in PLANS:
+                    raise ScenarioError(
+                        f"{path}.{name}.{plan}",
+                        f"unknown plan (known: {', '.join(PLANS)})",
+                    )
+                if weight <= 0.0:
+                    raise ScenarioError(
+                        f"{path}.{name}.{plan}", "weight must be > 0"
+                    )
+
+    def mix_by_continent(self) -> Dict[str, Dict[str, float]]:
+        return {"Europe": dict(self.europe_mix), "Africa": dict(self.africa_mix)}
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Who subscribes."""
+
+    n_customers: int = 600
+    countries: Optional[Tuple[str, ...]] = None
+
+    def _validate(self, path: str) -> None:
+        if self.n_customers <= 0:
+            raise ScenarioError(f"{path}.n_customers", "must be >= 1")
+        if self.countries is not None:
+            if not self.countries:
+                raise ScenarioError(f"{path}.countries", "must not be empty")
+            for name in self.countries:
+                if name not in COUNTRIES:
+                    raise ScenarioError(
+                        f"{path}.countries",
+                        f"unknown country {name!r} "
+                        f"(known: {', '.join(COUNTRIES)})",
+                    )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the population does over the capture."""
+
+    days: int = 5
+    seed: int = 2022
+    flow_scale: float = 1.0
+    include_dns: bool = True
+    dns_flows_per_day: float = 25.0
+    n_shards: Optional[int] = None
+
+    def _validate(self, path: str) -> None:
+        if self.days <= 0:
+            raise ScenarioError(f"{path}.days", "must be >= 1")
+        if self.flow_scale <= 0.0:
+            raise ScenarioError(f"{path}.flow_scale", "must be > 0")
+        if self.dns_flows_per_day < 0.0:
+            raise ScenarioError(f"{path}.dns_flows_per_day", "must be >= 0")
+        if self.n_shards is not None and self.n_shards <= 0:
+            raise ScenarioError(f"{path}.n_shards", "must be >= 1 or null")
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Window plan of streaming captures — content, like ``n_shards``."""
+
+    window_days: int = 1
+
+    def _validate(self, path: str) -> None:
+        if self.window_days <= 0:
+            raise ScenarioError(f"{path}.window_days", "must be >= 1")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How to run — never content, never part of any digest."""
+
+    workers: int = 1
+    """Worker processes; 0 means one per core."""
+    compress: bool = True
+    """Compress spilled stream windows (CPU for ~3x less disk)."""
+
+    def _validate(self, path: str) -> None:
+        if self.workers < 0:
+            raise ScenarioError(f"{path}.workers", "must be >= 0 (0 = one per core)")
+
+
+_SECTION_TYPES: Dict[str, type] = {
+    "geometry": GeometrySpec,
+    "beams": BeamsSpec,
+    "mac": MacSpec,
+    "channel": ChannelSpec,
+    "pep": PepSpec,
+    "qos": QosSpec,
+    "plans": PlansSpec,
+    "population": PopulationSpec,
+    "workload": WorkloadSpec,
+    "stream": StreamSpec,
+    "execution": ExecutionSpec,
+}
+
+#: Sections that decide which flows a capture contains. ``qos`` shapes
+#: only the micro-sim; ``execution`` only wall-clock; ``stream`` only
+#: windowing (``stream_capture_key`` layers it on separately, exactly
+#: as the legacy path did); ``name``/``description`` are labels.
+_CONTENT_SECTIONS = (
+    "geometry",
+    "beams",
+    "mac",
+    "channel",
+    "pep",
+    "plans",
+    "population",
+    "workload",
+)
+
+#: Model sections — when all of these sit at the baseline defaults the
+#: digest falls back to the legacy ``WorkloadConfig`` cache key.
+_MODEL_SECTIONS = ("geometry", "beams", "mac", "channel", "pep", "plans")
+
+
+# --------------------------------------------------------------------------
+# Coercion (mapping -> typed sections, with path-qualified errors)
+# --------------------------------------------------------------------------
+
+
+def _coerce(raw: Any, hint: Any, path: str) -> Any:
+    origin = get_origin(hint)
+    if origin is Union:  # Optional[X]
+        args = [a for a in get_args(hint) if a is not type(None)]
+        if raw is None:
+            return None
+        return _coerce(raw, args[0], path)
+    if hint is float:
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ScenarioError(path, f"expected a number, got {raw!r}")
+        return float(raw)
+    if hint is int:
+        if isinstance(raw, bool):
+            raise ScenarioError(path, f"expected an integer, got {raw!r}")
+        if isinstance(raw, float):
+            if not raw.is_integer():
+                raise ScenarioError(path, f"expected an integer, got {raw!r}")
+            return int(raw)
+        if not isinstance(raw, int):
+            raise ScenarioError(path, f"expected an integer, got {raw!r}")
+        return raw
+    if hint is bool:
+        if not isinstance(raw, bool):
+            raise ScenarioError(path, f"expected true/false, got {raw!r}")
+        return raw
+    if hint is str:
+        if not isinstance(raw, str):
+            raise ScenarioError(path, f"expected a string, got {raw!r}")
+        return raw
+    if origin is tuple:
+        if isinstance(raw, str) or not isinstance(raw, (list, tuple)):
+            raise ScenarioError(path, f"expected a list, got {raw!r}")
+        element = get_args(hint)[0]
+        return tuple(_coerce(item, element, path) for item in raw)
+    if origin is dict:
+        if not isinstance(raw, Mapping):
+            raise ScenarioError(path, f"expected a table/mapping, got {raw!r}")
+        _, value_hint = get_args(hint)
+        return {
+            str(key): _coerce(value, value_hint, f"{path}.{key}")
+            for key, value in raw.items()
+        }
+    raise ScenarioError(path, f"unsupported field type {hint!r}")  # pragma: no cover
+
+
+def _build_section(cls: type, data: Mapping[str, Any], path: str) -> Any:
+    if not isinstance(data, Mapping):
+        raise ScenarioError(path, f"expected a table/mapping, got {data!r}")
+    hints = get_type_hints(cls)
+    known = {f.name for f in fields(cls)}
+    kwargs: Dict[str, Any] = {}
+    for key, raw in data.items():
+        if key not in known:
+            raise ScenarioError(
+                f"{path}.{key}",
+                f"unknown key (expected one of: {', '.join(sorted(known))})",
+            )
+        kwargs[key] = _coerce(raw, hints[key], f"{path}.{key}")
+    return cls(**kwargs)
+
+
+def _section_payload(section: Any) -> Dict[str, Any]:
+    """JSON-ready payload of one section (tuples as lists).
+
+    Containers are copied: callers (``with_overrides``) mutate the
+    payload, and the frozen sections share their dict fields.
+    """
+    payload: Dict[str, Any] = {}
+    for f in fields(section):
+        value = getattr(section, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif isinstance(value, dict):
+            value = dict(value)
+        payload[f.name] = value
+    return payload
+
+
+# --------------------------------------------------------------------------
+# The tree
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Everything the reproduction needs to run one operator scenario."""
+
+    name: str = "custom"
+    description: str = ""
+    geometry: GeometrySpec = field(default_factory=GeometrySpec)
+    beams: BeamsSpec = field(default_factory=BeamsSpec)
+    mac: MacSpec = field(default_factory=MacSpec)
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
+    pep: PepSpec = field(default_factory=PepSpec)
+    qos: QosSpec = field(default_factory=QosSpec)
+    plans: PlansSpec = field(default_factory=PlansSpec)
+    population: PopulationSpec = field(default_factory=PopulationSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    stream: StreamSpec = field(default_factory=StreamSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Build and validate a scenario from a nested mapping.
+
+        Sparse: missing sections/fields keep the baseline defaults.
+        Unknown sections or keys raise path-qualified
+        :class:`ScenarioError`.
+        """
+        if not isinstance(data, Mapping):
+            raise ScenarioError("scenario", f"expected a table/mapping, got {data!r}")
+        kwargs: Dict[str, Any] = {}
+        for key, raw in data.items():
+            if key in ("name", "description"):
+                kwargs[key] = _coerce(raw, str, key)
+            elif key in _SECTION_TYPES:
+                kwargs[key] = _build_section(_SECTION_TYPES[key], raw, key)
+            else:
+                raise ScenarioError(
+                    key,
+                    "unknown section (expected one of: name, description, "
+                    f"{', '.join(_SECTION_TYPES)})",
+                )
+        scenario = cls(**kwargs)
+        scenario.validate()
+        return scenario
+
+    def validate(self) -> "Scenario":
+        """Validate every field; raises path-qualified :class:`ScenarioError`."""
+        for section_name in _SECTION_TYPES:
+            getattr(self, section_name)._validate(section_name)
+        return self
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The full nested mapping (inverse of :meth:`from_mapping`)."""
+        data: Dict[str, Any] = {"name": self.name, "description": self.description}
+        for section_name in _SECTION_TYPES:
+            data[section_name] = _section_payload(getattr(self, section_name))
+        return data
+
+    def with_overrides(
+        self, overrides: Mapping[str, Any], source: str = "--set"
+    ) -> "Scenario":
+        """A new validated scenario with dotted-path overrides applied.
+
+        Keys are dotted field paths (``beams.utilization_scale``,
+        ``plans.europe_mix.sat-100``); string values are parsed as JSON
+        literals where possible (``true``, ``1.5``, ``null``,
+        ``["Spain"]``) and taken verbatim otherwise.
+        """
+        if not overrides:
+            return self
+        data = self.to_mapping()
+        for dotted, raw in overrides.items():
+            keys = dotted.split(".")
+            if not all(keys):
+                raise ScenarioError(dotted, f"malformed {source} path")
+            node: Dict[str, Any] = data
+            for depth, key in enumerate(keys[:-1]):
+                if key not in node or not isinstance(node[key], dict):
+                    raise ScenarioError(
+                        ".".join(keys[: depth + 1]),
+                        f"unknown {source} path",
+                    )
+                node = node[key]
+            leaf = keys[-1]
+            # Mix tables accept new plan names (validated against PLANS).
+            if leaf not in node and not (len(keys) == 3 and keys[0] == "plans"):
+                raise ScenarioError(dotted, f"unknown {source} path")
+            node[leaf] = _parse_override_value(raw)
+        return Scenario.from_mapping(data)
+
+    # -- identity ----------------------------------------------------------
+
+    def content_payload(self) -> Dict[str, Any]:
+        """The capture-defining payload (sections in `_CONTENT_SECTIONS`)."""
+        return {
+            section: _section_payload(getattr(self, section))
+            for section in _CONTENT_SECTIONS
+        }
+
+    def models_payload(self) -> Dict[str, Any]:
+        return {
+            section: _section_payload(getattr(self, section))
+            for section in _MODEL_SECTIONS
+        }
+
+    def is_baseline_models(self) -> bool:
+        """True when every model section sits at the baseline defaults."""
+        return self.models_payload() == _BASELINE_MODELS_PAYLOAD
+
+    def digest(self) -> str:
+        """Hex digest identifying the capture this scenario generates.
+
+        This is the cache identity: ``repro.cache`` keys one-shot and
+        streaming captures with it. With all model sections at baseline
+        it equals the legacy ``WorkloadConfig`` cache key (same salt
+        discipline — bump :data:`repro.cache.CACHE_SALT` when generator
+        sampling changes), so pre-scenario cache entries keep hitting.
+        """
+        from repro.cache import CACHE_SALT, config_cache_key
+
+        if self.is_baseline_models():
+            return config_cache_key(self.workload_config())
+        blob = json.dumps(
+            {
+                "salt": CACHE_SALT,
+                "scenario_salt": SCENARIO_SALT,
+                "content": self.content_payload(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    # -- builders ----------------------------------------------------------
+
+    def workload_config(self) -> WorkloadConfig:
+        """The :class:`WorkloadConfig` slice of the tree."""
+        return WorkloadConfig(
+            n_customers=self.population.n_customers,
+            days=self.workload.days,
+            seed=self.workload.seed,
+            countries=(
+                list(self.population.countries)
+                if self.population.countries is not None
+                else None
+            ),
+            flow_scale=self.workload.flow_scale,
+            include_dns=self.workload.include_dns,
+            dns_flows_per_day=self.workload.dns_flows_per_day,
+            n_workers=self.execution.workers,
+            n_shards=self.workload.n_shards,
+        )
+
+    def build_beam_map(self) -> BeamMap:
+        """The scenario's beam plan: default map, scaled, minus outages."""
+        base = build_default_beam_map()
+        spec = self.beams
+        if (
+            spec.utilization_scale == 1.0
+            and spec.pep_scale == 1.0
+            and not spec.outages
+        ):
+            return base
+        surviving: Dict[str, List[Beam]] = {}
+        original_count: Dict[str, int] = {}
+        for beam in base.beams:
+            original_count[beam.country] = original_count.get(beam.country, 0) + 1
+            if beam.beam_id not in spec.outages:
+                surviving.setdefault(beam.country, []).append(beam)
+        beams: List[Beam] = []
+        for country, country_beams in surviving.items():
+            # Survivors absorb the load of beams taken out of service.
+            absorb = original_count[country] / len(country_beams)
+            for beam in country_beams:
+                beams.append(
+                    Beam(
+                        beam_id=beam.beam_id,
+                        country=beam.country,
+                        capacity_gbps=beam.capacity_gbps,
+                        peak_utilization=min(
+                            spec.load_cap,
+                            beam.peak_utilization * spec.utilization_scale * absorb,
+                        ),
+                        pep_load=min(
+                            spec.load_cap,
+                            beam.pep_load * spec.pep_scale * absorb,
+                        ),
+                    )
+                )
+        return BeamMap(beams=beams)
+
+    def build_geometry(self):
+        """A GEO :class:`SatelliteGeometry` or a LEO adapter."""
+        if self.geometry.orbit == "leo":
+            return LeoGeometryAdapter(
+                shell=LeoShell(
+                    altitude_m=self.geometry.leo_altitude_km * 1000.0,
+                    min_elevation_deg=self.geometry.leo_min_elevation_deg,
+                ),
+                typical_elevation_deg=self.geometry.leo_typical_elevation_deg,
+            )
+        return SatelliteGeometry(
+            satellite_longitude_deg=self.geometry.satellite_longitude_deg
+        )
+
+    def build_rtt_model(self):
+        """The satellite RTT sampler the scenario prescribes."""
+        from repro.satcom.delay_model import SatelliteRttModel
+
+        mac = self.mac
+        return SatelliteRttModel(
+            geometry=self.build_geometry(),
+            beam_map=self.build_beam_map(),
+            tdma=TdmaModel(
+                frame_s=mac.tdma_frame_s, max_queue_frames=mac.max_queue_frames
+            ),
+            aloha=SlottedAlohaModel(
+                slot_s=mac.aloha_slot_s,
+                reservation_rtt_s=mac.reservation_rtt_s,
+                max_backoff_slots=mac.max_backoff_slots,
+            ),
+            channel=ChannelModel(
+                floor_probability=self.channel.floor_probability,
+                edge_probability=self.channel.edge_probability,
+                reference_elevation_deg=self.channel.reference_elevation_deg,
+                decay_deg=self.channel.decay_deg,
+                arq_rtt_s=self.channel.arq_rtt_s,
+            ),
+            pep=PepCapacityModel(
+                setup_scale_s=self.pep.setup_scale_s,
+                setup_sigma=self.pep.setup_sigma,
+                forward_scale_s=self.pep.forward_scale_s,
+                max_load_ratio=self.pep.max_load_ratio,
+            ),
+            base_processing_s=mac.base_processing_s,
+            terminal_median_s=mac.terminal_median_s,
+            terminal_sigma=mac.terminal_sigma,
+            stack_jitter_median_s=mac.stack_jitter_median_s,
+            stack_jitter_sigma=mac.stack_jitter_sigma,
+            contention_fraction=mac.contention_fraction,
+        )
+
+    def build_generator(self):
+        """A fully-constructed :class:`WorkloadGenerator` for this scenario."""
+        from repro.traffic.workload import WorkloadGenerator
+
+        return WorkloadGenerator(
+            config=self.workload_config(),
+            rtt_model=self.build_rtt_model(),
+            plan_mix=self.plans.mix_by_continent(),
+        )
+
+    def stream_config(self):
+        """A :class:`~repro.stream.producer.StreamConfig` bound to this tree."""
+        from repro.stream.producer import StreamConfig
+
+        return StreamConfig(
+            workload=self.workload_config(),
+            window_days=self.stream.window_days,
+            compress=self.execution.compress,
+            scenario=self,
+        )
+
+    def qos_config(self) -> QosScenarioConfig:
+        """The QoS micro-simulation config of the ``qos`` section."""
+        return QosScenarioConfig(
+            link_rate_bps=self.qos.link_rate_bps,
+            duration_s=self.qos.duration_s,
+            seed=self.qos.seed,
+            video_shape_bps=self.qos.video_shape_bps,
+        )
+
+
+def _parse_override_value(raw: Any) -> Any:
+    """CLI ``--set`` values arrive as strings; parse JSON-ish literals."""
+    if not isinstance(raw, str):
+        return raw
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+_BASELINE_MODELS_PAYLOAD = Scenario().models_payload()
+
+
+# --------------------------------------------------------------------------
+# Loader
+# --------------------------------------------------------------------------
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load a scenario from a TOML or JSON file (by suffix)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(str(path), f"cannot read scenario file ({exc})") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ScenarioError(str(path), f"invalid JSON ({exc})") from exc
+    elif suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(str(path), f"invalid TOML ({exc})") from exc
+    else:
+        raise ScenarioError(
+            str(path), "unsupported scenario file type (use .toml or .json)"
+        )
+    return Scenario.from_mapping(data)
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def _register(base: Scenario, name: str, description: str, **overrides: Any) -> None:
+    scenario = base.with_overrides(
+        {"name": name, "description": description, **overrides}
+    )
+    _REGISTRY[name] = scenario
+
+
+_BASELINE = Scenario(
+    name="baseline-geo",
+    description="The monitored GEO operator exactly as the paper observed it",
+).validate()
+_REGISTRY[_BASELINE.name] = _BASELINE
+
+_register(
+    _BASELINE,
+    "congested-beam",
+    "Every beam pushed toward saturation: radio load x1.25, PEP load x1.3",
+    **{"beams.utilization_scale": 1.25, "beams.pep_scale": 1.3},
+)
+
+_register(
+    _BASELINE,
+    "beam-outage",
+    "Two Spanish beams and one UK beam out; survivors absorb their load",
+    **{"beams.outages": ("spain-1", "spain-2", "uk-1")},
+)
+
+_register(
+    _BASELINE,
+    "leo",
+    "A 550 km LEO shell with tight MAC framing (the Starlink counterpoint)",
+    **{
+        "geometry.orbit": "leo",
+        "mac.tdma_frame_s": 0.002,
+        "mac.aloha_slot_s": 0.0005,
+        "mac.reservation_rtt_s": 0.008,
+        "mac.base_processing_s": 0.004,
+        "mac.terminal_median_s": 0.010,
+        "mac.stack_jitter_median_s": 0.006,
+        "channel.arq_rtt_s": 0.012,
+        "pep.setup_scale_s": 0.012,
+    },
+)
+
+_register(
+    _BASELINE,
+    "heavy-growth",
+    "Subscriber growth ahead of capacity: +50% customers, busier beams, "
+    "premium-plan shift",
+    **{
+        "population.n_customers": 900,
+        "workload.flow_scale": 1.3,
+        "beams.utilization_scale": 1.12,
+        "beams.pep_scale": 1.15,
+        "plans.europe_mix.sat-100": 0.45,
+        "plans.africa_mix.sat-30": 0.45,
+    },
+)
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, registration order."""
+    return list(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """A registered scenario by name (raises :class:`ScenarioError`)."""
+    if name not in _REGISTRY:
+        raise ScenarioError(
+            "scenario",
+            f"unknown scenario {name!r} (known: {', '.join(_REGISTRY)})",
+        )
+    return _REGISTRY[name]
+
+
+def resolve_scenario(name_or_path: str) -> Scenario:
+    """A scenario by registry name, else by file path (TOML/JSON)."""
+    if name_or_path in _REGISTRY:
+        return _REGISTRY[name_or_path]
+    path = Path(name_or_path)
+    if path.suffix.lower() in (".toml", ".json") or path.exists():
+        return load_scenario(path)
+    raise ScenarioError(
+        "scenario",
+        f"{name_or_path!r} is neither a registered scenario "
+        f"(known: {', '.join(_REGISTRY)}) nor a .toml/.json file",
+    )

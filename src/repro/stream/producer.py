@@ -24,7 +24,7 @@ import dataclasses
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.stream.rollup import StreamRollup
 from repro.stream.store import FlowStore, WindowEntry
 from repro.stream.telemetry import peak_rss_mb
 from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -78,15 +81,29 @@ def plan_windows(days: int, window_days: int = 1) -> List[WindowSpec]:
 
 @dataclass
 class StreamConfig:
-    """A streaming capture = a workload config + a window plan."""
+    """A streaming capture = a workload config + a window plan.
+
+    When built from a :class:`~repro.scenario.Scenario` (via
+    ``Scenario.stream_config()``) the scenario rides along: the capture
+    is keyed by the scenario digest and the generator carries the
+    scenario's models and plan mix. Without one, the legacy
+    workload-only construction is unchanged.
+    """
 
     workload: WorkloadConfig
     window_days: int = 1
     compress: bool = True
     """Compress spilled windows (trade CPU for ~3x less disk)."""
+    scenario: Optional["Scenario"] = None
 
     def capture_key(self) -> str:
-        return stream_capture_key(self.workload, self.window_days)
+        keyed = self.scenario if self.scenario is not None else self.workload
+        return stream_capture_key(keyed, self.window_days)
+
+    def build_generator(self) -> WorkloadGenerator:
+        if self.scenario is not None:
+            return self.scenario.build_generator()
+        return WorkloadGenerator(self.workload)
 
 
 class WindowedProducer:
@@ -174,7 +191,7 @@ def run_stream_capture(
     it commits.
     """
     capture_dir = Path(capture_dir)
-    generator = WorkloadGenerator(config.workload)
+    generator = config.build_generator()
     producer = WindowedProducer(generator, config.window_days)
     key = config.capture_key()
     n_windows = len(producer.windows)

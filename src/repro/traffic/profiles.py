@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.internet.geo import COUNTRIES, Location
+from repro.internet.geo import COUNTRIES, Location, lon_hour_shift
 from repro.traffic.services import SERVICES, ServiceCategory
 
 # --------------------------------------------------------------------------
@@ -210,7 +210,7 @@ class CountryProfile:
 
     def utc_hour_weights(self) -> np.ndarray:
         """Hourly activity re-indexed to UTC (Figure 4's x-axis)."""
-        shift = int(round(self.location.lon_deg / 15.0))
+        shift = int(round(lon_hour_shift(self.location)))
         weights = np.empty(24)
         for hour_utc in range(24):
             weights[hour_utc] = self.hourly_weights_local[(hour_utc + shift) % 24]

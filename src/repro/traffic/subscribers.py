@@ -85,8 +85,12 @@ class Population:
         return counts
 
 
-def _choose_plan(continent: str, rng: np.random.Generator) -> str:
-    mix = PLAN_MIX_BY_CONTINENT[continent]
+def _choose_plan(
+    continent: str,
+    rng: np.random.Generator,
+    plan_mix: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    mix = (plan_mix or PLAN_MIX_BY_CONTINENT)[continent]
     names = list(mix)
     weights = np.array([mix[n] for n in names])
     return names[rng.choice(len(names), p=weights / weights.sum())]
@@ -133,11 +137,15 @@ def synthesize_population(
     countries: Optional[Sequence[str]] = None,
     beam_map: Optional[BeamMap] = None,
     resolver_catalog: Optional[ResolverCatalog] = None,
+    plan_mix: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> Population:
     """Draw ``n_customers`` subscribers.
 
     ``countries`` restricts the population (weights renormalized); by
     default all covered countries appear with their Figure 2 shares.
+    ``plan_mix`` overrides the per-continent plan adoption (keys are
+    continents, values plan→weight tables); with the default mix the
+    draw sequence is bit-identical to the pre-scenario generator.
     """
     if n_customers <= 0:
         raise ValueError("n_customers must be positive")
@@ -181,7 +189,7 @@ def synthesize_population(
                 customer_id=customer_id,
                 country=country,
                 subscriber_type=sub_type,
-                plan_name=_choose_plan(profile.continent, rng),
+                plan_name=_choose_plan(profile.continent, rng, plan_mix),
                 beam_id=beam.beam_id,
                 beam_peak_utilization=beam.peak_utilization,
                 beam_pep_load=beam.pep_load,

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.analysis.dataset import FlowFrame
 from repro.constants import SECONDS_PER_DAY
-from repro.internet.geo import COUNTRIES, SERVER_SITES
+from repro.internet.geo import COUNTRIES, SERVER_SITES, utc_hour
 from repro.internet.resolvers import RESOLVERS, ResolverCatalog
 from repro.internet.servers import SelectionPolicy, deployment
 from repro.internet.topology import InternetModel
@@ -83,10 +83,16 @@ class WorkloadGenerator:
         internet: Optional[InternetModel] = None,
         rtt_model: Optional[SatelliteRttModel] = None,
         population: Optional[Population] = None,
+        plan_mix: Optional[Dict[str, Dict[str, float]]] = None,
     ) -> None:
         self.config = config or WorkloadConfig()
         self.rng = np.random.default_rng(self.config.seed)
-        self.rtt_model = rtt_model or SatelliteRttModel()
+        if rtt_model is None:
+            # the baseline scenario owns the default model tree
+            from repro.scenario import get_scenario
+
+            rtt_model = get_scenario("baseline-geo").build_rtt_model()
+        self.rtt_model = rtt_model
         self.beam_map: BeamMap = self.rtt_model.beam_map
         self.internet = internet or InternetModel()
         for svc in SERVICES.values():
@@ -99,6 +105,7 @@ class WorkloadGenerator:
             self.rng,
             countries=self.config.countries,
             beam_map=self.beam_map,
+            plan_mix=plan_mix,
         )
         self._build_pools()
         self._build_customer_arrays()
@@ -320,8 +327,7 @@ class WorkloadGenerator:
             rng.choice(24, size=n, p=profile.hourly_weights_local)
             + rng.uniform(0.0, 1.0, n)
         )
-        shift = profile.location.lon_deg / 15.0
-        hour_utc = (hour_local - shift) % 24.0
+        hour_utc = utc_hour(profile.location, hour_local)
         return hour_local, hour_utc
 
     def _generate_service_chunk(

@@ -1,0 +1,516 @@
+"""Tests for the declarative scenario tree (repro.scenario).
+
+Covers the ISSUE-4 satellite checklist: TOML → Scenario → digest stable
+across field order, --set override precedence over file values, unknown
+keys / out-of-range values raising path-qualified ScenarioErrors, and
+the baseline-geo digest equalling the legacy WorkloadConfig cache-key
+mapping — plus the byte-identity and threading guarantees the tentpole
+rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import capture_key, config_cache_key, stream_capture_key
+from repro.scenario import (
+    Scenario,
+    ScenarioError,
+    get_scenario,
+    load_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+
+# --- registry ---------------------------------------------------------------
+
+
+def test_registry_names_and_lookup():
+    names = scenario_names()
+    assert names[0] == "baseline-geo"
+    for expected in ("congested-beam", "beam-outage", "leo", "heavy-growth"):
+        assert expected in names
+    for name in names:
+        scenario = get_scenario(name)
+        assert scenario.name == name
+        assert scenario.description
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        get_scenario("not-a-scenario")
+
+
+def test_registry_digests_are_distinct():
+    digests = [get_scenario(name).digest() for name in scenario_names()]
+    assert len(set(digests)) == len(digests)
+
+
+def test_only_baseline_has_baseline_models():
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        assert scenario.is_baseline_models() == (name == "baseline-geo")
+
+
+# --- digest / legacy cache-key mapping --------------------------------------
+
+
+def test_baseline_digest_equals_legacy_workload_cache_key():
+    base = get_scenario("baseline-geo")
+    assert base.digest() == config_cache_key(base.workload_config())
+
+
+def test_baseline_workload_config_matches_cli_defaults():
+    config = get_scenario("baseline-geo").workload_config()
+    assert config == WorkloadConfig(n_customers=600, days=5, seed=2022)
+
+
+def test_capture_key_duck_types_scenarios_and_configs():
+    base = get_scenario("baseline-geo")
+    assert capture_key(base) == base.digest()
+    assert capture_key(base.workload_config()) == base.digest()
+    leo = get_scenario("leo")
+    assert capture_key(leo) == leo.digest() != capture_key(leo.workload_config())
+
+
+def test_stream_capture_key_layers_window_days():
+    base = get_scenario("baseline-geo")
+    legacy = stream_capture_key(base.workload_config(), 2)
+    assert stream_capture_key(base, 2) == legacy
+    assert stream_capture_key(base, 1) != legacy
+
+
+def test_digest_ignores_execution_and_qos():
+    base = get_scenario("baseline-geo")
+    assert base.with_overrides({"execution.workers": 8}).digest() == base.digest()
+    assert base.with_overrides({"qos.duration_s": 5.0}).digest() == base.digest()
+    leo = get_scenario("leo")
+    assert leo.with_overrides({"execution.workers": 8}).digest() == leo.digest()
+    assert leo.with_overrides({"qos.duration_s": 5.0}).digest() == leo.digest()
+
+
+def test_digest_tracks_content_changes():
+    base = get_scenario("baseline-geo")
+    assert base.with_overrides({"workload.seed": 1}).digest() != base.digest()
+    assert (
+        base.with_overrides({"mac.tdma_frame_s": 0.050}).digest() != base.digest()
+    )
+
+
+# --- loader: TOML/JSON round trips ------------------------------------------
+
+
+TOML_A = """
+name = "t"
+
+[workload]
+seed = 5
+days = 2
+
+[beams]
+utilization_scale = 1.2
+
+[population]
+n_customers = 50
+"""
+
+# same content, different section and key order
+TOML_B = """
+[population]
+n_customers = 50
+
+[beams]
+utilization_scale = 1.2
+
+[workload]
+days = 2
+seed = 5
+
+name = "t"
+"""
+
+
+def test_toml_digest_stable_across_field_order(tmp_path):
+    path_a = tmp_path / "a.toml"
+    path_a.write_text(TOML_A)
+    path_b = tmp_path / "b.toml"
+    # TOML requires top-level keys before tables; rebuild B accordingly
+    path_b.write_text('name = "t"\n' + TOML_B.replace('name = "t"\n', ""))
+    s_a, s_b = load_scenario(path_a), load_scenario(path_b)
+    assert s_a == s_b
+    assert s_a.digest() == s_b.digest()
+
+
+def test_plan_mix_order_never_changes_digest_or_draws(tmp_path):
+    forward = tmp_path / "f.toml"
+    forward.write_text(
+        "[plans.europe_mix]\n'sat-30' = 0.3\n'sat-50' = 0.35\n'sat-100' = 0.35\n"
+    )
+    backward = tmp_path / "b.toml"
+    backward.write_text(
+        "[plans.europe_mix]\n'sat-100' = 0.35\n'sat-50' = 0.35\n'sat-30' = 0.3\n"
+    )
+    s_f, s_b = load_scenario(forward), load_scenario(backward)
+    assert list(s_f.plans.europe_mix) == list(s_b.plans.europe_mix)
+    assert s_f.digest() == s_b.digest()
+    # listing the default mix explicitly IS the baseline
+    assert s_f.is_baseline_models()
+
+
+def test_json_round_trip(tmp_path):
+    import json
+
+    original = get_scenario("congested-beam")
+    path = tmp_path / "scen.json"
+    path.write_text(json.dumps(original.to_mapping()))
+    loaded = load_scenario(path)
+    assert loaded == original
+    assert loaded.digest() == original.digest()
+
+
+def test_from_mapping_to_mapping_inverse():
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        assert Scenario.from_mapping(scenario.to_mapping()) == scenario
+
+
+def test_load_scenario_rejects_bad_files(tmp_path):
+    with pytest.raises(ScenarioError, match="cannot read"):
+        load_scenario(tmp_path / "missing.toml")
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[[[")
+    with pytest.raises(ScenarioError, match="invalid TOML"):
+        load_scenario(bad)
+    txt = tmp_path / "scen.yaml"
+    txt.write_text("a: 1")
+    with pytest.raises(ScenarioError, match="unsupported"):
+        load_scenario(txt)
+
+
+def test_resolve_scenario_name_then_path(tmp_path):
+    assert resolve_scenario("leo") is get_scenario("leo")
+    path = tmp_path / "s.toml"
+    path.write_text("[workload]\nseed = 9\n")
+    assert resolve_scenario(str(path)).workload.seed == 9
+    with pytest.raises(ScenarioError, match="neither a registered scenario"):
+        resolve_scenario("what-is-this")
+
+
+# --- overrides --------------------------------------------------------------
+
+
+def test_set_overrides_beat_file_values(tmp_path):
+    path = tmp_path / "s.toml"
+    path.write_text("[beams]\nutilization_scale = 1.2\n\n[workload]\nseed = 5\n")
+    loaded = load_scenario(path)
+    overridden = loaded.with_overrides({"beams.utilization_scale": "1.5"})
+    assert loaded.beams.utilization_scale == 1.2
+    assert overridden.beams.utilization_scale == 1.5
+    assert overridden.workload.seed == 5  # untouched values survive
+
+
+def test_overrides_parse_json_literals():
+    base = get_scenario("baseline-geo")
+    assert base.with_overrides({"execution.compress": "false"}).execution.compress is False
+    assert base.with_overrides({"workload.days": "3"}).workload.days == 3
+    assert base.with_overrides(
+        {"population.countries": '["Spain", "Congo"]'}
+    ).population.countries == ("Spain", "Congo")
+    assert base.with_overrides({"name": "renamed"}).name == "renamed"
+    assert base.with_overrides({"qos.video_shape_bps": "null"}).qos.video_shape_bps is None
+
+
+def test_overrides_reach_nested_plan_mixes():
+    base = get_scenario("baseline-geo")
+    shifted = base.with_overrides({"plans.europe_mix.sat-100": "0.5"})
+    assert shifted.plans.europe_mix["sat-100"] == 0.5
+    assert base.plans.europe_mix["sat-100"] == 0.35  # no aliasing back
+
+
+def test_overrides_do_not_mutate_the_source_scenario():
+    base = get_scenario("baseline-geo")
+    before = base.to_mapping()
+    base.with_overrides(
+        {"plans.africa_mix.sat-30": "0.9", "beams.outages": '["spain-1"]'}
+    )
+    assert base.to_mapping() == before
+
+
+def test_override_unknown_paths_raise():
+    base = get_scenario("baseline-geo")
+    with pytest.raises(ScenarioError, match="unknown --set path"):
+        base.with_overrides({"nosuch.field": "1"})
+    with pytest.raises(ScenarioError, match="beams.nope"):
+        base.with_overrides({"beams.nope": "1"})
+    with pytest.raises(ScenarioError, match="malformed"):
+        base.with_overrides({"beams..x": "1"})
+
+
+# --- validation: path-qualified errors --------------------------------------
+
+
+@pytest.mark.parametrize(
+    "override, path_fragment",
+    [
+        ({"beams.utilization_scale": "0"}, "beams.utilization_scale"),
+        ({"beams.load_cap": "1.5"}, "beams.load_cap"),
+        ({"beams.outages": '["mars-1"]'}, "beams.outages"),
+        ({"geometry.orbit": '"meo"'}, "geometry.orbit"),
+        ({"geometry.leo_altitude_km": "50"}, "geometry.leo_altitude_km"),
+        ({"mac.tdma_frame_s": "-1"}, "mac.tdma_frame_s"),
+        ({"mac.contention_fraction": "1.5"}, "mac.contention_fraction"),
+        ({"channel.floor_probability": "1.0"}, "channel.floor_probability"),
+        ({"pep.max_load_ratio": "0"}, "pep.max_load_ratio"),
+        ({"qos.link_rate_bps": "0"}, "qos.link_rate_bps"),
+        ({"plans.europe_mix.sat-100": "-0.5"}, "plans.europe_mix.sat-100"),
+        ({"plans.europe_mix.sat-999": "0.5"}, "plans.europe_mix.sat-999"),
+        ({"population.n_customers": "0"}, "population.n_customers"),
+        ({"population.countries": '["Narnia"]'}, "population.countries"),
+        ({"workload.days": "0"}, "workload.days"),
+        ({"workload.flow_scale": "0"}, "workload.flow_scale"),
+        ({"stream.window_days": "0"}, "stream.window_days"),
+        ({"execution.workers": "-1"}, "execution.workers"),
+    ],
+)
+def test_out_of_range_values_raise_path_qualified(override, path_fragment):
+    base = get_scenario("baseline-geo")
+    with pytest.raises(ScenarioError) as excinfo:
+        base.with_overrides(override)
+    assert path_fragment in str(excinfo.value)
+    assert excinfo.value.path.startswith(path_fragment.split(".")[0])
+
+
+def test_unknown_keys_raise_path_qualified():
+    with pytest.raises(ScenarioError, match=r"mac\.warp_factor"):
+        Scenario.from_mapping({"mac": {"warp_factor": 9}})
+    with pytest.raises(ScenarioError, match="unknown section"):
+        Scenario.from_mapping({"engines": {}})
+
+
+def test_type_errors_are_path_qualified():
+    with pytest.raises(ScenarioError, match=r"workload\.days"):
+        Scenario.from_mapping({"workload": {"days": 1.5}})
+    with pytest.raises(ScenarioError, match=r"workload\.include_dns"):
+        Scenario.from_mapping({"workload": {"include_dns": "yes"}})
+    with pytest.raises(ScenarioError, match=r"beams\.outages"):
+        Scenario.from_mapping({"beams": {"outages": "spain-1"}})
+    with pytest.raises(ScenarioError, match=r"mac\.tdma_frame_s"):
+        Scenario.from_mapping({"mac": {"tdma_frame_s": "fast"}})
+
+
+def test_cannot_outage_every_beam_of_a_country():
+    base = get_scenario("baseline-geo")
+    ireland = [
+        b.beam_id for b in base.build_beam_map().beams if b.country == "Ireland"
+    ]
+    with pytest.raises(ScenarioError, match="Ireland"):
+        base.with_overrides({"beams.outages": str(ireland).replace("'", '"')})
+
+
+# --- builders ---------------------------------------------------------------
+
+
+def test_baseline_build_matches_plain_defaults():
+    from repro.satcom.delay_model import SatelliteRttModel
+
+    assert get_scenario("baseline-geo").build_rtt_model() == SatelliteRttModel()
+
+
+def test_beam_outage_redistributes_load():
+    base_map = get_scenario("baseline-geo").build_beam_map()
+    outage = get_scenario("beam-outage")
+    outage_map = outage.build_beam_map()
+    gone = set(outage.beams.outages)
+    assert gone & {b.beam_id for b in base_map.beams} == gone
+    assert not gone & {b.beam_id for b in outage_map.beams}
+    base_spain = {b.beam_id: b for b in base_map.beams if b.country == "Spain"}
+    out_spain = [b for b in outage_map.beams if b.country == "Spain"]
+    assert len(out_spain) == len(base_spain) - 2
+    for beam in out_spain:
+        assert beam.peak_utilization > base_spain[beam.beam_id].peak_utilization
+
+
+def test_leo_geometry_floor_is_far_below_geo():
+    leo_model = get_scenario("leo").build_rtt_model()
+    geo_model = get_scenario("baseline-geo").build_rtt_model()
+    from repro.internet.geo import COUNTRIES
+
+    spain = COUNTRIES["Spain"]
+    assert leo_model.geometry.propagation_rtt_s(spain) < 0.05
+    assert geo_model.geometry.propagation_rtt_s(spain) > 0.4
+
+
+def test_scenario_generation_is_byte_identical_to_legacy(small_scenario_pair):
+    frame_scenario, frame_legacy = small_scenario_pair
+    assert len(frame_scenario) == len(frame_legacy)
+    for attr in ("bytes_down", "bytes_up", "sat_rtt_ms", "hour_utc", "country_idx"):
+        a = getattr(frame_scenario, attr)
+        b = getattr(frame_legacy, attr)
+        if a.dtype.kind == "f":
+            nan = np.isnan(a)
+            assert np.array_equal(np.isnan(b), nan)
+            assert np.array_equal(a[~nan], b[~nan]), attr
+        else:
+            assert np.array_equal(a, b), attr
+
+
+@pytest.fixture(scope="module")
+def small_scenario_pair():
+    scenario = get_scenario("baseline-geo").with_overrides(
+        {"population.n_customers": 60, "workload.days": 1, "workload.seed": 3}
+    )
+    frame_scenario = scenario.build_generator().generate()
+    frame_legacy = WorkloadGenerator(
+        WorkloadConfig(n_customers=60, days=1, seed=3)
+    ).generate()
+    return frame_scenario, frame_legacy
+
+
+def test_variant_scenarios_shift_fig8_inputs():
+    def median_rtt(name):
+        scenario = get_scenario(name).with_overrides(
+            {"population.n_customers": 60, "workload.days": 1, "workload.seed": 3}
+        )
+        frame = scenario.build_generator().generate()
+        return float(np.nanmedian(frame.sat_rtt_ms))
+
+    baseline = median_rtt("baseline-geo")
+    assert median_rtt("congested-beam") > baseline * 1.05
+    assert median_rtt("leo") < baseline * 0.25
+
+
+def test_heavy_growth_shifts_plan_mix():
+    scenario = get_scenario("heavy-growth").with_overrides(
+        {"population.n_customers": 300, "workload.seed": 3}
+    )
+    base = get_scenario("baseline-geo").with_overrides(
+        {"population.n_customers": 300, "workload.seed": 3}
+    )
+
+    def premium_share(s):
+        gen = s.build_generator()
+        subs = gen.population.subscribers
+        europe = [x for x in subs if x.country in
+                  ("Ireland", "Spain", "UK", "Germany", "France", "Italy",
+                   "Portugal", "Greece", "Poland")]
+        return sum(1 for x in europe if x.plan_name == "sat-100") / len(europe)
+
+    assert premium_share(scenario) > premium_share(base)
+
+
+def test_stream_config_carries_scenario():
+    scenario = get_scenario("leo").with_overrides(
+        {"population.n_customers": 40, "workload.days": 1}
+    )
+    config = scenario.stream_config()
+    assert config.scenario is scenario
+    assert config.capture_key() == stream_capture_key(scenario, 1)
+    generator = config.build_generator()
+    assert type(generator.rtt_model.geometry).__name__ == "LeoGeometryAdapter"
+
+
+def test_generate_flow_dataset_scenario_is_exclusive():
+    from repro.pipeline import generate_flow_dataset
+
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        generate_flow_dataset(
+            config=WorkloadConfig(n_customers=10, days=1),
+            scenario=get_scenario("baseline-geo"),
+        )
+
+
+def test_generate_flow_dataset_caches_by_digest(tmp_path):
+    from repro.cache import CaptureCache
+    from repro.pipeline import generate_flow_dataset
+
+    scenario = get_scenario("congested-beam").with_overrides(
+        {"population.n_customers": 40, "workload.days": 1, "workload.seed": 3}
+    )
+    cache = CaptureCache(tmp_path)
+    frame, _ = generate_flow_dataset(scenario=scenario, cache=cache)
+    assert cache.path_for(scenario).exists()
+    assert scenario.digest() in cache.path_for(scenario).name
+    again, _ = generate_flow_dataset(scenario=scenario, cache=cache)
+    assert len(again) == len(frame)
+
+
+# --- cache dir resolution (satellite: XDG_CACHE_HOME) -----------------------
+
+
+def test_default_cache_dir_precedence(monkeypatch, tmp_path):
+    from repro.cache import default_cache_dir
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+    assert default_cache_dir().parts[-2:] == (".cache", "repro")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+    assert default_cache_dir() == tmp_path / "explicit"
+
+
+# --- CLI integration --------------------------------------------------------
+
+
+def test_cli_scenarios_listing(capsys):
+    from repro.cli import main
+
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+        assert get_scenario(name).digest() in out
+    assert main(["scenarios", "--names"]) == 0
+    assert capsys.readouterr().out.split() == scenario_names()
+
+
+def test_cli_generate_scenario_matches_legacy_flags(tmp_path, capsys):
+    from repro.analysis.dataset import FlowFrame
+    from repro.cli import main
+
+    legacy = tmp_path / "legacy.npz"
+    scen = tmp_path / "scen.npz"
+    assert main(["generate", "--customers", "60", "--days", "1", "--seed", "3",
+                 "--out", str(legacy)]) == 0
+    assert main(["generate", "--scenario", "baseline-geo", "--customers", "60",
+                 "--days", "1", "--seed", "3", "--out", str(scen)]) == 0
+    capsys.readouterr()
+    a = FlowFrame.load_npz(legacy)
+    b = FlowFrame.load_npz(scen)
+    assert len(a) == len(b)
+    assert np.array_equal(a.bytes_down, b.bytes_down)
+
+
+def test_cli_set_overrides_and_flag_precedence(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "c.npz"
+    # explicit flag beats --set for the same knob
+    assert main(["generate", "--set", "workload.days=4", "--days", "1",
+                 "--customers", "50", "--seed", "3", "--out", str(out)]) == 0
+    assert "1 days" in capsys.readouterr().out
+
+
+def test_cli_rejects_scenario_errors_with_exit_2(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["generate", "--scenario", "missing-one",
+                 "--out", str(tmp_path / "x.npz")]) == 2
+    assert "scenario error" in capsys.readouterr().err
+    assert main(["generate", "--set", "bogus", "--out", str(tmp_path / "x.npz")]) == 2
+    assert "--set expects KEY=VALUE" in capsys.readouterr().err
+    assert main(["generate", "--set", "beams.utilization_scale=99",
+                 "--out", str(tmp_path / "x.npz")]) == 2
+    assert "beams.utilization_scale" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("command", ["generate", "stream"])
+@pytest.mark.parametrize("flag", ["--customers", "--days"])
+def test_cli_rejects_non_positive_counts(command, flag, capsys):
+    from repro.cli import main
+
+    argv = [command, flag, "0"]
+    if command == "stream":
+        argv += ["--dir", "unused"]
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert flag in capsys.readouterr().err
