@@ -31,8 +31,16 @@ import numpy as np
 from repro.analysis.dataset import _ARRAY_FIELDS, _POOL_FIELDS, FlowFrame
 
 
-class CaptureError(Exception):
-    """A capture path could not be understood (message says why)."""
+class CaptureError(ValueError):
+    """A capture artifact could not be understood (message says why).
+
+    Raised by :func:`load_capture` and by every artifact reader in the
+    pipeline (store windows, manifests, checkpoints, rollup state) when
+    a file is truncated, bit-flipped, or from another schema. Subclasses
+    :class:`ValueError` so pre-existing ``except ValueError`` call sites
+    keep working; the point is that *corruption is diagnosed, never a
+    raw decoder traceback*.
+    """
 
 
 class FlowSource:
@@ -202,6 +210,8 @@ def load_capture(path: Union[str, Path]) -> FlowSource:
             )
         try:
             store = FlowStore.open(path)
+        except CaptureError:
+            raise  # already diagnosed by the store
         except json.JSONDecodeError as exc:
             raise CaptureError(
                 f"bad capture manifest in {path}: {exc}"
@@ -235,6 +245,8 @@ def load_capture(path: Union[str, Path]) -> FlowSource:
     if "meta" in members:
         try:
             return RollupSource(StreamRollup.load(path), path=path)
+        except CaptureError:
+            raise  # already diagnosed by the rollup loader
         except (ValueError, KeyError) as exc:
             raise CaptureError(f"cannot load rollup {path}: {exc}") from exc
     raise CaptureError(

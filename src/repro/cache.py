@@ -19,9 +19,16 @@ Keying rules:
   Stale files are eventually overwritten in place (same filename ⇒
   same key), never silently served.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or
+Writes are atomic and durable (temp file + fsync + ``os.replace``,
+via :func:`repro.faults.atomic_write_bytes`) so a crashed or
 concurrent writer can never leave a torn capture behind; concurrent
-writers of the same key simply race to publish identical bytes.
+writers of the same key simply race to publish identical bytes. A
+corrupt entry found at load time (torn by an old non-atomic writer,
+bit rot) is *quarantined* — renamed aside with a ``.quarantined``
+suffix for post-mortem — and treated as a miss, so the capture is
+regenerated instead of crashing the run. Transient IO errors retry
+with backoff through the cache's
+:class:`~repro.faults.FaultInjector` hook (disabled by default).
 """
 
 from __future__ import annotations
@@ -30,11 +37,11 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.analysis.dataset import FlowFrame
+from repro.faults import FaultInjector, atomic_write_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.scenario import Scenario
@@ -115,8 +122,15 @@ def config_cache_key(config: "WorkloadConfig") -> str:
 class CaptureCache:
     """Filesystem cache of generated :class:`FlowFrame` captures."""
 
-    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
+        # Not the shared NO_FAULTS singleton: each cache owns its stats,
+        # so ``cache.injector.stats.quarantined`` means *this* cache.
+        self.injector = injector if injector is not None else FaultInjector(None)
 
     def path_for(self, config: "ConfigLike") -> Path:
         """Where the capture for ``config`` lives (existing or not).
@@ -126,49 +140,64 @@ class CaptureCache:
         """
         return self.directory / f"capture-{capture_key(config)}.npz"
 
+    def quarantine_path(self, path: Path) -> Path:
+        """Where a corrupt entry at ``path`` gets renamed for post-mortem."""
+        return path.with_name(path.name + ".quarantined")
+
     def load(self, config: "ConfigLike") -> Optional[FlowFrame]:
         """The cached capture for ``config``, or ``None`` on a miss.
 
         A corrupt entry (torn by an old non-atomic writer, truncated
-        disk) is treated as a miss and removed.
+        disk, flipped bits) is quarantined — renamed aside, counted in
+        ``injector.stats.quarantined`` — and treated as a miss, so the
+        caller regenerates instead of crashing.
         """
         path = self.path_for(config)
         if not path.exists():
             return None
-        try:
+
+        def _read(ticket):
+            ticket.check("read")
             return FlowFrame.load_npz(path)
+
+        try:
+            return self.injector.run_io("cache.load", _read)
+        except FileNotFoundError:
+            return None  # lost a race with clear(); a plain miss
         except Exception:
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, self.quarantine_path(path))
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.injector.stats.quarantined += 1
 
     def store(self, config: "ConfigLike", frame: FlowFrame) -> Path:
         """Atomically publish ``frame`` as the capture for ``config``."""
         path = self.path_for(config)
         self.directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        atomic_write_bytes(
+            path,
+            # uncompressed: a cache optimizes reload latency, and
+            # savez_compressed costs ~10x the write time
+            lambda h: frame.save_npz(h, compress=False),
+            injector=self.injector,
+            op="cache.store",
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                # uncompressed: a cache optimizes reload latency, and
-                # savez_compressed costs ~10x the write time
-                frame.save_npz(handle, compress=False)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
         return path
 
     def clear(self) -> int:
-        """Delete every cached capture; returns how many were removed."""
+        """Delete every cached capture (and quarantined remains);
+        returns how many were removed."""
         removed = 0
         if self.directory.exists():
-            for path in self.directory.glob("capture-*.npz"):
-                path.unlink(missing_ok=True)
-                removed += 1
+            for pattern in ("capture-*.npz", "capture-*.npz.quarantined"):
+                for path in self.directory.glob(pattern):
+                    path.unlink(missing_ok=True)
+                    removed += 1
         return removed
 
 

@@ -337,21 +337,28 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.analysis.source import CaptureError
     from repro.stream import render_telemetry, run_stream_capture
 
     config = _scenario_from_args(args).stream_config()
-    result = run_stream_capture(
-        config,
-        args.dir,
-        resume=args.resume,
-        max_windows=args.max_windows,
-        on_window=lambda t: print(
-            f"window {t.window}: days [{t.day_lo},{t.day_hi}) "
-            f"{t.flows:,} flows in {t.gen_seconds + t.fold_seconds:.1f} s",
-            file=sys.stderr,
-        ),
-    )
+    try:
+        result = run_stream_capture(
+            config,
+            args.dir,
+            resume=args.resume,
+            max_windows=args.max_windows,
+            on_window=lambda t: print(
+                f"window {t.window}: days [{t.day_lo},{t.day_hi}) "
+                f"{t.flows:,} flows in {t.gen_seconds + t.fold_seconds:.1f} s",
+                file=sys.stderr,
+            ),
+        )
+    except CaptureError as exc:
+        print(f"cannot run capture: {exc}", file=sys.stderr)
+        return 2
     print(render_telemetry(result.telemetry))
+    if result.fault_stats.faults or result.fault_stats.retries:
+        print(result.fault_stats.summary())
     done = result.checkpoint.windows_done
     state = "complete" if result.complete else f"resumable with --resume --dir {args.dir}"
     print(
@@ -404,13 +411,18 @@ def _run_reports(source, which: str, prefer=None) -> int:
 
 
 def _cmd_stream_report(args: argparse.Namespace) -> int:
+    from repro.analysis.source import CaptureError
     from repro.stream import load_checkpoint
 
     source = _open_capture(args.dir)
     if source is None:
         return 2
     if source.kind == "store":
-        checkpoint = load_checkpoint(args.dir)
+        try:
+            checkpoint = load_checkpoint(args.dir)
+        except CaptureError as exc:
+            print(f"cannot read checkpoint: {exc}", file=sys.stderr)
+            return 2
         if checkpoint is not None and not checkpoint.complete:
             print(
                 f"note: capture is partial ({checkpoint.windows_done}/"

@@ -24,10 +24,13 @@ import multiprocessing
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.faults import NO_FAULTS, FaultInjector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.dataset import FlowFrame
@@ -175,14 +178,26 @@ def spawn_window_seed(
     return shard_seq.spawn(n_windows)[window_index]
 
 
-# (generator, n_windows, window_index, day_lo, day_hi) read by forked
-# window workers, mirroring _WORKER_GENERATOR above.
-_WORKER_WINDOW: Optional[Tuple["WorkloadGenerator", int, int, int, int]] = None
+# (generator, n_windows, window_index, day_lo, day_hi, injector,
+# parent_pid) read by forked window workers, mirroring
+# _WORKER_GENERATOR above. parent_pid gates crash injection: only a
+# forked child may die, never the in-process fallback.
+_WORKER_WINDOW: Optional[
+    Tuple["WorkloadGenerator", int, int, int, int, FaultInjector, int]
+] = None
 
 
 def _run_window_shard(shard: ShardSpec) -> Optional["FlowFrame"]:
     assert _WORKER_WINDOW is not None, "worker started without window context"
-    generator, n_windows, window_index, day_lo, day_hi = _WORKER_WINDOW
+    generator, n_windows, window_index, day_lo, day_hi, injector, parent_pid = (
+        _WORKER_WINDOW
+    )
+    if os.getpid() != parent_pid and injector.crash_worker(
+        window_index, shard.index
+    ):
+        # A forked worker dying mid-shard: no cleanup, no return value,
+        # the parent's pool surfaces BrokenProcessPool.
+        os._exit(66)
     rng = np.random.default_rng(
         spawn_window_seed(generator.config.seed, shard, n_windows, window_index)
     )
@@ -197,16 +212,23 @@ def generate_window_shards(
     day_lo: int,
     day_hi: int,
     n_workers: int,
+    injector: Optional[FaultInjector] = None,
 ) -> List[Optional["FlowFrame"]]:
     """Generate every shard of one time window, in shard order.
 
     The streaming counterpart of :func:`generate_shards`: same fork
     pool, same in-process fallback, same contract that ``n_workers``
-    never changes a byte of the output.
+    never changes a byte of the output. A worker killed mid-window
+    (injected via ``injector`` or real) costs the pool, not the run:
+    the parent falls back to in-process generation of the same shards,
+    which samples the same RNG streams and yields identical frames.
     """
     global _WORKER_WINDOW
+    injector = injector if injector is not None else NO_FAULTS
     n_workers = min(n_workers, len(shards))
-    context_value = (generator, n_windows, window_index, day_lo, day_hi)
+    context_value = (
+        generator, n_windows, window_index, day_lo, day_hi, injector, os.getpid()
+    )
     if n_workers > 1 and "fork" in multiprocessing.get_all_start_methods():
         _WORKER_WINDOW = context_value
         try:
@@ -219,6 +241,14 @@ def generate_window_shards(
             warnings.warn(
                 f"parallel window generation unavailable ({exc}); falling "
                 "back to in-process execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        except BrokenProcessPool:
+            injector.stats.worker_crashes += 1
+            warnings.warn(
+                f"worker process died generating window {window_index}; "
+                "regenerating its shards in-process (output unchanged)",
                 RuntimeWarning,
                 stacklevel=2,
             )

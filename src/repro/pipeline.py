@@ -305,6 +305,15 @@ def generate_flow_dataset(
                 "scenario= is mutually exclusive with "
                 "config/rtt_model/internet/population"
             )
+        fault_plan = scenario.fault_plan()
+        if capture_cache is not None and fault_plan is not None:
+            from repro.cache import CaptureCache
+            from repro.faults import FaultInjector
+
+            capture_cache = CaptureCache(
+                directory=capture_cache.directory,
+                injector=FaultInjector(fault_plan),
+            )
         if capture_cache is not None:
             cached = capture_cache.load(scenario)
             if cached is not None:

@@ -19,6 +19,9 @@ unrelated config objects (``WorkloadConfig``, ``StreamConfig``,
 ``workload``   what they do (days, seed, flow scaling, DNS rate)
 ``stream``     windowing of streaming captures (content)
 ``execution``  workers / spill compression (never content)
+``faults``     seeded chaos plan — injected IO errors, worker
+               crashes, kill-points (never content; see
+               :mod:`repro.faults`)
 
 A scenario can be loaded from TOML or JSON (sparse: unspecified fields
 keep the baseline defaults), overridden with dotted ``--set`` paths
@@ -371,6 +374,57 @@ class ExecutionSpec:
             raise ScenarioError(f"{path}.workers", "must be >= 0 (0 = one per core)")
 
 
+@dataclass(frozen=True)
+class FaultsSpec:
+    """Deterministic fault injection for chaos runs (``repro.faults``).
+
+    Disabled by default, and *never* content: faults change retries and
+    timing, not the generated flows, so the section stays outside every
+    digest — arming a chaos plan neither invalidates warm caches nor
+    forks the capture identity. Either name a registered ``profile``
+    (e.g. ``flaky-disk``) or compose a plan from the rate knobs; both
+    can be combined, and ``seed`` makes the chaos reproducible.
+    """
+
+    profile: str = ""
+    """A :data:`repro.faults.FAULT_PROFILES` name, or empty."""
+    seed: int = 0
+    io_error_rate: float = 0.0
+    """Per-operation probability of a transient write error."""
+    io_fail_times: int = 1
+    """Consecutive failing attempts per triggered IO fault."""
+    fsync_error_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    """Per-(window, shard) probability a forked worker dies."""
+    kill_at: Tuple[str, ...] = ()
+    """Named kill-points (see ``repro.stream.stream_kill_points``)."""
+
+    def _validate(self, path: str) -> None:
+        from repro.faults import FAULT_PROFILES
+
+        if self.profile and self.profile not in FAULT_PROFILES:
+            raise ScenarioError(
+                f"{path}.profile",
+                f"unknown fault profile {self.profile!r} "
+                f"(known: {', '.join(FAULT_PROFILES)})",
+            )
+        for name in ("io_error_rate", "fsync_error_rate", "worker_crash_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ScenarioError(f"{path}.{name}", "must be in [0, 1]")
+        if self.io_fail_times < 1:
+            raise ScenarioError(f"{path}.io_fail_times", "must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.profile
+            or self.io_error_rate
+            or self.fsync_error_rate
+            or self.worker_crash_rate
+            or self.kill_at
+        )
+
+
 _SECTION_TYPES: Dict[str, type] = {
     "geometry": GeometrySpec,
     "beams": BeamsSpec,
@@ -383,12 +437,15 @@ _SECTION_TYPES: Dict[str, type] = {
     "workload": WorkloadSpec,
     "stream": StreamSpec,
     "execution": ExecutionSpec,
+    "faults": FaultsSpec,
 }
 
 #: Sections that decide which flows a capture contains. ``qos`` shapes
 #: only the micro-sim; ``execution`` only wall-clock; ``stream`` only
 #: windowing (``stream_capture_key`` layers it on separately, exactly
-#: as the legacy path did); ``name``/``description`` are labels.
+#: as the legacy path did); ``faults`` only injects failures (retried
+#: or healed, never sampled into the flows); ``name``/``description``
+#: are labels.
 _CONTENT_SECTIONS = (
     "geometry",
     "beams",
@@ -510,6 +567,7 @@ class Scenario:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     stream: StreamSpec = field(default_factory=StreamSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    faults: FaultsSpec = field(default_factory=FaultsSpec)
 
     # -- construction ------------------------------------------------------
 
@@ -745,6 +803,51 @@ class Scenario:
             plan_mix=self.plans.mix_by_continent(),
         )
 
+    def fault_plan(self):
+        """The ``faults`` section as a :class:`repro.faults.FaultPlan`.
+
+        ``None`` when the section is disabled (the default). A named
+        profile seeds the plan; the rate knobs and ``kill_at`` layer on
+        top of it.
+        """
+        from repro.faults import FAULT_PROFILES, FaultPlan, IoFault, WorkerCrash
+
+        spec = self.faults
+        if not spec.enabled:
+            return None
+        if spec.profile:
+            plan = dataclasses.replace(FAULT_PROFILES[spec.profile], seed=spec.seed)
+        else:
+            plan = FaultPlan(seed=spec.seed)
+        io_faults = list(plan.io_faults)
+        if spec.io_error_rate > 0:
+            io_faults.append(
+                IoFault(
+                    op="*",
+                    stage="write",
+                    rate=spec.io_error_rate,
+                    fail_times=spec.io_fail_times,
+                )
+            )
+        if spec.fsync_error_rate > 0:
+            io_faults.append(
+                IoFault(
+                    op="*",
+                    stage="fsync",
+                    rate=spec.fsync_error_rate,
+                    fail_times=spec.io_fail_times,
+                )
+            )
+        crashes = list(plan.worker_crashes)
+        if spec.worker_crash_rate > 0:
+            crashes.append(WorkerCrash(rate=spec.worker_crash_rate))
+        return dataclasses.replace(
+            plan,
+            io_faults=tuple(io_faults),
+            worker_crashes=tuple(crashes),
+            kill_at=plan.kill_at + tuple(spec.kill_at),
+        )
+
     def stream_config(self):
         """A :class:`~repro.stream.producer.StreamConfig` bound to this tree."""
         from repro.stream.producer import StreamConfig
@@ -754,6 +857,7 @@ class Scenario:
             window_days=self.stream.window_days,
             compress=self.execution.compress,
             scenario=self,
+            faults=self.fault_plan(),
         )
 
     def qos_config(self) -> QosScenarioConfig:

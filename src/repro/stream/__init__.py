@@ -29,6 +29,7 @@ from repro.stream.producer import (
     WindowedProducer,
     plan_windows,
     run_stream_capture,
+    stream_kill_points,
 )
 from repro.stream.rollup import HistFamily, HourlyRollup, StreamRollup
 from repro.stream.store import FlowStore, WindowEntry
@@ -52,4 +53,5 @@ __all__ = [
     "render_telemetry",
     "rollup_path",
     "run_stream_capture",
+    "stream_kill_points",
 ]

@@ -11,6 +11,9 @@ A kill between any two steps is safe: on resume, everything at or
 beyond ``windows_done`` is regenerated and atomically overwritten,
 and everything before it is trusted because the checkpoint that
 covered it only ever published after its window and rollup landed.
+(A kill between steps 2 and 3 leaves ``rollup.npz`` one window ahead
+of the checkpoint; the producer detects the digest mismatch and
+re-folds the rollup from the committed windows instead of refusing.)
 
 Resume is *bit-identical* to an uninterrupted run because each
 (shard, window) cell draws from its own
@@ -24,13 +27,16 @@ float-addition order of the one-shot run.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
 
-#: Bump on layout changes (refuse, never mis-resume).
+from repro.analysis.source import CaptureError
+from repro.faults import FaultInjector, atomic_write_bytes
+
+#: Bump on layout changes (refuse, never mis-resume). Unchanged by the
+#: fault counters: the new telemetry fields default to zero, so
+#: pre-fault checkpoints keep loading.
 CHECKPOINT_SCHEMA = 1
 
 _CHECKPOINT = "checkpoint.json"
@@ -49,6 +55,10 @@ class WindowTelemetry:
     fold_seconds: float
     bytes_spilled: int
     peak_rss_mb: float
+    faults: int = 0
+    """Fault events injected while producing this window."""
+    io_retries: int = 0
+    """IO attempts retried (after injected or real transient errors)."""
 
     @property
     def flows_per_s(self) -> float:
@@ -80,33 +90,46 @@ def rollup_path(directory: Union[str, Path]) -> Path:
     return Path(directory) / ROLLUP_FILE
 
 
-def write_checkpoint(directory: Union[str, Path], checkpoint: Checkpoint) -> None:
+def write_checkpoint(
+    directory: Union[str, Path],
+    checkpoint: Checkpoint,
+    injector: Optional[FaultInjector] = None,
+) -> None:
     """Atomically publish ``checkpoint`` as the directory's cursor."""
-    path = checkpoint_path(directory)
     payload = asdict(checkpoint)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write_bytes(
+        checkpoint_path(directory),
+        lambda h: h.write(json.dumps(payload, indent=2).encode()),
+        injector=injector,
+        op="checkpoint.write",
+    )
 
 
 def load_checkpoint(directory: Union[str, Path]) -> Optional[Checkpoint]:
-    """The directory's checkpoint, or ``None`` if none was committed."""
+    """The directory's checkpoint, or ``None`` if none was committed.
+
+    A damaged ``checkpoint.json`` (truncated, bit-flipped, not an
+    object) raises :class:`CaptureError` with a diagnosis rather than
+    a raw JSON traceback.
+    """
     path = checkpoint_path(directory)
     if not path.exists():
         return None
-    payload = json.loads(path.read_text())
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        raise CaptureError(f"corrupt checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CaptureError(f"corrupt checkpoint {path}: not a JSON object")
     if payload.get("schema") != CHECKPOINT_SCHEMA:
-        raise ValueError(
+        raise CaptureError(
             f"checkpoint schema {payload.get('schema')} != {CHECKPOINT_SCHEMA}"
         )
-    telemetry = [WindowTelemetry(**row) for row in payload.pop("telemetry", [])]
-    payload.pop("schema", None)
-    return Checkpoint(telemetry=telemetry, **payload)
+    try:
+        telemetry = [
+            WindowTelemetry(**row) for row in payload.pop("telemetry", [])
+        ]
+        payload.pop("schema", None)
+        return Checkpoint(telemetry=telemetry, **payload)
+    except TypeError as exc:
+        raise CaptureError(f"corrupt checkpoint {path}: {exc}") from exc

@@ -29,7 +29,9 @@ from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple, Uni
 import numpy as np
 
 from repro.analysis.dataset import FlowFrame
+from repro.analysis.source import CaptureError
 from repro.cache import stream_capture_key
+from repro.faults import FaultInjector, FaultPlan, FaultStats, resolve_injector
 from repro.parallel import generate_window_shards, resolve_workers
 from repro.stream.checkpoint import (
     Checkpoint,
@@ -95,6 +97,9 @@ class StreamConfig:
     compress: bool = True
     """Compress spilled windows (trade CPU for ~3x less disk)."""
     scenario: Optional["Scenario"] = None
+    faults: Optional[FaultPlan] = None
+    """Chaos plan for this run — execution-only, never part of the
+    capture key (faults change timing and retries, never the flows)."""
 
     def capture_key(self) -> str:
         keyed = self.scenario if self.scenario is not None else self.workload
@@ -116,7 +121,10 @@ class WindowedProducer:
         self.windows = plan_windows(generator.config.days, window_days)
 
     def generate_window(
-        self, window: WindowSpec, n_workers: int = 1
+        self,
+        window: WindowSpec,
+        n_workers: int = 1,
+        injector: Optional[FaultInjector] = None,
     ) -> FlowFrame:
         """One window's flows, merged in shard order (never ``None`` —
         a windowless window yields an empty frame with the pools)."""
@@ -131,6 +139,7 @@ class WindowedProducer:
                 window.day_lo,
                 window.day_hi,
                 n_workers,
+                injector=injector,
             )
             if frame is not None
         ]
@@ -164,6 +173,7 @@ class StreamResult:
     rollup: StreamRollup
     checkpoint: Checkpoint
     store: FlowStore
+    fault_stats: FaultStats = dataclasses.field(default_factory=FaultStats)
 
     @property
     def complete(self) -> bool:
@@ -174,12 +184,73 @@ class StreamResult:
         return self.checkpoint.telemetry
 
 
+#: Per-window kill-point stages, in commit order: after generation,
+#: after the window spilled, after the rollup state saved, after the
+#: checkpoint committed.
+WINDOW_KILL_STAGES = ("generated", "spilled", "rollup-saved", "committed")
+
+
+def stream_kill_points(n_windows: int) -> List[str]:
+    """Every named kill-point of an ``n_windows`` stream run, in order.
+
+    The chaos crash matrix SIGKILLs the producer at each of these (via
+    ``FaultPlan(kill_at=...)``) and asserts the resumed capture is
+    bit-identical to an uninterrupted one.
+    """
+    points = ["stream:init"]
+    for index in range(n_windows):
+        points.extend(
+            f"stream:w{index}:{stage}" for stage in WINDOW_KILL_STAGES
+        )
+    return points
+
+
+def _recover_rollup(
+    capture_dir: Path,
+    store: FlowStore,
+    checkpoint: Checkpoint,
+    injector: FaultInjector,
+) -> StreamRollup:
+    """The rollup matching ``checkpoint``, healing a torn/stale state.
+
+    The happy path loads ``rollup.npz`` and verifies its digest. A kill
+    between ``rollup.save`` and ``write_checkpoint`` leaves the saved
+    state one window *ahead* of the checkpoint (and a torn disk can
+    corrupt it outright); both cases are healed by re-folding the
+    committed windows in index order — bit-identical to the original
+    fold by construction. Only when even the re-fold disagrees with the
+    checkpoint digest is the directory truly corrupt.
+    """
+    try:
+        rollup = StreamRollup.load(rollup_path(capture_dir))
+        if rollup.state_digest() == checkpoint.rollup_digest:
+            return rollup
+    except (CaptureError, FileNotFoundError):
+        pass
+    injector.stats.rollup_rebuilds += 1
+    pools = store.pools
+    rollup = StreamRollup(
+        pools["countries"], pools["services"], pools["resolvers"]
+    )
+    for entry in store.windows[: checkpoint.windows_done]:
+        rollup.update(store.read_window(entry.index))
+    if rollup.state_digest() != checkpoint.rollup_digest:
+        raise CaptureError(
+            "rollup state does not match the checkpoint digest even after "
+            "re-folding the committed windows — the capture directory is "
+            "corrupt; delete and regenerate"
+        )
+    rollup.save(rollup_path(capture_dir), injector=injector)
+    return rollup
+
+
 def run_stream_capture(
     config: StreamConfig,
     capture_dir: Union[str, Path],
     resume: bool = False,
     max_windows: Optional[int] = None,
     on_window: Optional[Callable[[WindowTelemetry], None]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> StreamResult:
     """Run (or continue) a streaming capture into ``capture_dir``.
 
@@ -189,8 +260,17 @@ def run_stream_capture(
     produces — the checkpoint stays resumable, which is how the tests
     simulate a kill. ``on_window`` observes each window's telemetry as
     it commits.
+
+    ``faults`` (or ``config.faults``) arms a deterministic chaos plan
+    for *this run only*: injected IO errors retry with backoff, torn
+    cache writes quarantine, plan-named kill-points SIGKILL the
+    process, and the per-window fault/retry counters land in the
+    telemetry. Faults never change the generated flows.
     """
     capture_dir = Path(capture_dir)
+    injector = resolve_injector(faults if faults is not None else config.faults)
+    before = injector.stats.copy()
+    injector.kill_point("stream:init")
     generator = config.build_generator()
     producer = WindowedProducer(generator, config.window_days)
     key = config.capture_key()
@@ -208,13 +288,8 @@ def run_stream_capture(
                 "capture directory belongs to a different stream config "
                 f"(key {existing.capture_key} != {key})"
             )
-        store = FlowStore.open(capture_dir)
-        rollup = StreamRollup.load(rollup_path(capture_dir))
-        if rollup.state_digest() != existing.rollup_digest:
-            raise ValueError(
-                "rollup state does not match the checkpoint digest — "
-                "the capture directory is corrupt; delete and regenerate"
-            )
+        store = FlowStore.open(capture_dir, injector=injector)
+        rollup = _recover_rollup(capture_dir, store, existing, injector)
         checkpoint = existing
     else:
         if load_checkpoint(capture_dir) is not None and not resume:
@@ -239,6 +314,7 @@ def run_stream_capture(
             capture_key=key,
             config=dataclasses.asdict(config.workload),
             compress=config.compress,
+            injector=injector,
         )
         rollup = StreamRollup(
             generator.countries_pool,
@@ -253,16 +329,27 @@ def run_stream_capture(
         )
 
     produced = 0
+    # Each window row attributes every fault since the previous commit:
+    # directory-setup and resume-recovery faults land on the first row,
+    # a checkpoint-write fault on the next row (the final checkpoint
+    # write only shows in the run totals).
     for window in producer.windows[checkpoint.windows_done :]:
         if max_windows is not None and produced >= max_windows:
             break
         t0 = time.perf_counter()
-        frame = producer.generate_window(window, n_workers=workers)
+        frame = producer.generate_window(
+            window, n_workers=workers, injector=injector
+        )
+        injector.kill_point(f"stream:w{window.index}:generated")
         t1 = time.perf_counter()
         spilled = store.write_window(window.index, frame)
+        injector.kill_point(f"stream:w{window.index}:spilled")
         rollup.update(frame)
-        rollup.save(rollup_path(capture_dir))
+        rollup.save(rollup_path(capture_dir), injector=injector)
+        injector.kill_point(f"stream:w{window.index}:rollup-saved")
         t2 = time.perf_counter()
+        window_stats = injector.stats.delta(before)
+        before = injector.stats.copy()
         telemetry = WindowTelemetry(
             window=window.index,
             day_lo=window.day_lo,
@@ -272,16 +359,23 @@ def run_stream_capture(
             fold_seconds=t2 - t1,
             bytes_spilled=spilled,
             peak_rss_mb=peak_rss_mb(),
+            faults=window_stats.faults,
+            io_retries=window_stats.retries,
         )
         checkpoint.windows_done = window.index + 1
         checkpoint.rollup_digest = rollup.state_digest()
         checkpoint.telemetry.append(telemetry)
-        write_checkpoint(capture_dir, checkpoint)
+        write_checkpoint(capture_dir, checkpoint, injector=injector)
+        injector.kill_point(f"stream:w{window.index}:committed")
         if on_window is not None:
             on_window(telemetry)
         produced += 1
         del frame  # the whole point: at most one window resident
 
     return StreamResult(
-        capture_dir=capture_dir, rollup=rollup, checkpoint=checkpoint, store=store
+        capture_dir=capture_dir,
+        rollup=rollup,
+        checkpoint=checkpoint,
+        store=store,
+        fault_stats=injector.stats,
     )

@@ -39,13 +39,16 @@ import hashlib
 import json
 import os
 import re
-import tempfile
+import zipfile
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.aggregate import local_hour_of
+from repro.analysis.source import CaptureError
+from repro.faults import FaultInjector, atomic_write_bytes
 from repro.analysis.classify import ServiceClassifier
 from repro.analysis.dataset import FlowFrame
 from repro.analysis.domains import TABLE2_DOMAIN_GROUPS
@@ -715,9 +718,8 @@ class StreamRollup:
             digest.update(np.ascontiguousarray(array).tobytes())
         return digest.hexdigest()
 
-    def save(self, path) -> None:
+    def save(self, path, injector: Optional[FaultInjector] = None) -> None:
         """Atomically persist the rollup state to an ``.npz``."""
-        path = os.fspath(path)
         meta = json.dumps(
             {
                 "schema": ROLLUP_SCHEMA,
@@ -726,31 +728,38 @@ class StreamRollup:
                 "resolvers": self.resolvers,
             }
         )
-        directory = os.path.dirname(path) or "."
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(
-                    handle,
-                    meta=np.array(meta),
-                    **self._state_arrays(),
-                )
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        arrays = self._state_arrays()
+        atomic_write_bytes(
+            os.fspath(path),
+            lambda h: np.savez(h, meta=np.array(meta), **arrays),
+            injector=injector,
+            op="rollup.save",
+        )
 
     @classmethod
     def load(cls, path) -> "StreamRollup":
-        """Load a state written by :meth:`save`."""
+        """Load a state written by :meth:`save`.
+
+        Damage (truncation, flipped bits, another schema) raises
+        :class:`CaptureError`, never a raw npz/zip error.
+        """
+        try:
+            return cls._load(path)
+        except CaptureError:
+            raise
+        except (OSError, EOFError, ValueError, KeyError, zipfile.BadZipFile, zlib.error) as exc:
+            if isinstance(exc, FileNotFoundError):
+                raise
+            raise CaptureError(f"corrupt rollup state {path}: {exc}") from exc
+
+    @classmethod
+    def _load(cls, path) -> "StreamRollup":
         with np.load(path, allow_pickle=False) as data:
             meta = json.loads(str(data["meta"]))
             if meta.get("schema") != ROLLUP_SCHEMA:
-                raise ValueError(
-                    f"rollup schema {meta.get('schema')} != {ROLLUP_SCHEMA}"
+                raise CaptureError(
+                    f"corrupt rollup state {path}: schema "
+                    f"{meta.get('schema')} != {ROLLUP_SCHEMA}"
                 )
             rollup = cls(meta["countries"], meta["services"], meta["resolvers"])
             rollup.bytes_up_c = data["bytes_up_c"].copy()

@@ -21,15 +21,21 @@ Layout::
       rollup.npz             # mergeable rollup state (checkpoint.py)
       checkpoint.json        # resume cursor + telemetry (checkpoint.py)
 
-All writes are atomic (temp file + ``os.replace``), so a killed
-capture never leaves a torn window or manifest behind.
+All writes go through :func:`repro.faults.atomic_write_bytes` (temp
+file + fsync + ``os.replace``), so a killed capture never leaves a
+torn window or manifest behind; transient IO errors are retried with
+backoff by the store's :class:`~repro.faults.FaultInjector` (the
+disabled :data:`~repro.faults.NO_FAULTS` unless a fault plan is
+armed). Corrupt artifacts surface as
+:class:`~repro.analysis.source.CaptureError` with a diagnosis, never
+a raw decoder traceback.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -37,6 +43,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.analysis.dataset import _ARRAY_FIELDS, _POOL_FIELDS, FlowFrame
+from repro.analysis.source import CaptureError
+from repro.faults import NO_FAULTS, FaultInjector, atomic_write_bytes
 
 #: Bump on layout changes; old directories then refuse to resume
 #: instead of silently mixing schemas.
@@ -45,23 +53,16 @@ STORE_SCHEMA = 1
 _MANIFEST = "manifest.json"
 _WINDOWS_DIR = "windows"
 
-
-def _atomic_write_bytes(path: Path, write_fn) -> int:
-    """Write via ``write_fn(handle)`` to a temp file, then publish."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            write_fn(handle)
-        size = os.path.getsize(tmp_name)
-        os.replace(tmp_name, path)
-        return size
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+#: What a corrupt npz raises, depending on where the damage landed
+#: (zip directory, member CRC, npy header, compressed payload).
+_NPZ_CORRUPTION = (
+    OSError,
+    EOFError,
+    ValueError,
+    KeyError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 
 @dataclass(frozen=True)
@@ -76,8 +77,13 @@ class WindowEntry:
 class FlowStore:
     """Append-only windowed capture directory."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         self.directory = Path(directory)
+        self.injector = injector if injector is not None else NO_FAULTS
         self._manifest: Optional[dict] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -91,9 +97,10 @@ class FlowStore:
         capture_key: str,
         config: dict,
         compress: bool = True,
+        injector: Optional[FaultInjector] = None,
     ) -> "FlowStore":
         """Initialize a capture directory and publish its manifest."""
-        store = cls(directory)
+        store = cls(directory, injector=injector)
         manifest = {
             "schema": STORE_SCHEMA,
             "capture_key": capture_key,
@@ -107,17 +114,23 @@ class FlowStore:
         }
         store.directory.mkdir(parents=True, exist_ok=True)
         (store.directory / _WINDOWS_DIR).mkdir(exist_ok=True)
-        _atomic_write_bytes(
+        atomic_write_bytes(
             store.directory / _MANIFEST,
             lambda h: h.write(json.dumps(manifest, indent=2).encode()),
+            injector=store.injector,
+            op="store.manifest",
         )
         store._manifest = manifest
         return store
 
     @classmethod
-    def open(cls, directory: Union[str, Path]) -> "FlowStore":
+    def open(
+        cls,
+        directory: Union[str, Path],
+        injector: Optional[FaultInjector] = None,
+    ) -> "FlowStore":
         """Open an existing capture directory (validates the schema)."""
-        store = cls(directory)
+        store = cls(directory, injector=injector)
         store.manifest  # force load + validation
         return store
 
@@ -127,10 +140,20 @@ class FlowStore:
             path = self.directory / _MANIFEST
             if not path.exists():
                 raise FileNotFoundError(f"no manifest at {path}")
-            manifest = json.loads(path.read_text())
+            try:
+                manifest = json.loads(path.read_text())
+            except ValueError as exc:
+                raise CaptureError(
+                    f"corrupt capture manifest {path}: {exc}"
+                ) from exc
+            if not isinstance(manifest, dict):
+                raise CaptureError(
+                    f"corrupt capture manifest {path}: not a JSON object"
+                )
             if manifest.get("schema") != STORE_SCHEMA:
-                raise ValueError(
-                    f"capture dir schema {manifest.get('schema')} != {STORE_SCHEMA}"
+                raise CaptureError(
+                    f"corrupt capture manifest {path}: schema "
+                    f"{manifest.get('schema')} != {STORE_SCHEMA}"
                 )
             self._manifest = manifest
         return self._manifest
@@ -168,8 +191,11 @@ class FlowStore:
                 raise ValueError(f"window frame pool {name!r} differs from manifest")
         writer = np.savez_compressed if self.manifest["compress"] else np.savez
         columns = {name: getattr(frame, name) for name in _ARRAY_FIELDS}
-        return _atomic_write_bytes(
-            self.window_path(index), lambda h: writer(h, **columns)
+        return atomic_write_bytes(
+            self.window_path(index),
+            lambda h: writer(h, **columns),
+            injector=self.injector,
+            op="store.write_window",
         )
 
     # -- reads ---------------------------------------------------------
@@ -179,15 +205,37 @@ class FlowStore:
     ) -> Union[FlowFrame, Dict[str, np.ndarray]]:
         """Load one window — a full :class:`FlowFrame`, or just the
         projected ``columns`` as a dict (npz members load lazily, so a
-        projection only decompresses what it asks for)."""
+        projection only decompresses what it asks for).
+
+        A damaged file (truncated spill, flipped bits) raises
+        :class:`CaptureError` naming the window, never a bare decoder
+        error.
+        """
         path = self.window_path(index)
-        with np.load(path, allow_pickle=False) as data:
-            if columns is not None:
-                unknown = set(columns) - set(_ARRAY_FIELDS)
-                if unknown:
-                    raise KeyError(f"unknown columns {sorted(unknown)}")
-                return {name: data[name] for name in columns}
-            loaded = {name: data[name] for name in _ARRAY_FIELDS}
+        if columns is not None:
+            unknown = set(columns) - set(_ARRAY_FIELDS)
+            if unknown:
+                raise KeyError(f"unknown columns {sorted(unknown)}")
+
+        def _read(ticket):
+            ticket.check("read")
+            with np.load(path, allow_pickle=False) as data:
+                if columns is not None:
+                    return {name: data[name] for name in columns}
+                return {name: data[name] for name in _ARRAY_FIELDS}
+
+        try:
+            loaded = self.injector.run_io("store.read_window", _read)
+        except FileNotFoundError:
+            raise
+        except _NPZ_CORRUPTION as exc:
+            raise CaptureError(
+                f"corrupt window file {path}: {exc} (truncated spill or "
+                "flipped bits — delete the capture directory and resume "
+                "from a fresh run)"
+            ) from exc
+        if columns is not None:
+            return loaded
         return FlowFrame(**self.pools, **loaded)
 
     def iter_windows(

@@ -32,7 +32,11 @@ def peak_rss_mb() -> float:
 
 
 def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
-    """The per-window summary table of a streaming capture."""
+    """The per-window summary table of a streaming capture.
+
+    The Faults/Retries columns count injected fault events and retried
+    IO attempts per window (zero on a healthy run with no chaos plan).
+    """
     table_rows: List[tuple] = []
     for t in rows:
         table_rows.append(
@@ -44,6 +48,8 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
                 f"{t.bytes_spilled / 1e6:.1f}",
                 f"{t.gen_seconds + t.fold_seconds:.2f}",
                 f"{t.peak_rss_mb:.0f}",
+                f"{t.faults}",
+                f"{t.io_retries}",
             )
         )
     total_flows = sum(t.flows for t in rows)
@@ -57,10 +63,22 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
             f"{sum(t.bytes_spilled for t in rows) / 1e6:.1f}",
             f"{total_secs:.2f}",
             f"{max((t.peak_rss_mb for t in rows), default=float('nan')):.0f}",
+            f"{sum(t.faults for t in rows)}",
+            f"{sum(t.io_retries for t in rows)}",
         )
     )
     return format_table(
-        ["Window", "Days", "Flows", "Flows/s", "Spilled MB", "Seconds", "Peak RSS MB"],
+        [
+            "Window",
+            "Days",
+            "Flows",
+            "Flows/s",
+            "Spilled MB",
+            "Seconds",
+            "Peak RSS MB",
+            "Faults",
+            "Retries",
+        ],
         table_rows,
         title="Streaming capture telemetry",
     )

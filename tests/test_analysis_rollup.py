@@ -74,3 +74,111 @@ def test_rejects_huge_customer_ids(small_frame):
     clone.customer_id = clone.customer_id + 2_000_000
     with pytest.raises(ValueError):
         HourlyRollup.from_frame(clone)
+
+
+# -- StreamRollup.merge: the mergeability property --------------------------
+#
+# The streaming pipeline leans on merge being a fold: resuming a
+# capture, sharding it, or combining per-window rollups in any grouping
+# must answer the same queries. Exact bit-identity holds for the two
+# orders production actually uses (left-to-right, and resume's
+# fold-then-continue); arbitrary regroupings commute the float
+# additions, so those are integer-exact and float-allclose.
+
+from repro.stream import StreamRollup, WindowedProducer
+from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
+
+MERGE_SEEDS = (3, 17, 2022)
+
+
+@pytest.fixture(scope="module", params=MERGE_SEEDS)
+def window_rollups(request):
+    """Six single-window rollups (plus their pools) for one seed."""
+    config = WorkloadConfig(n_customers=60, days=6, seed=request.param)
+    generator = WorkloadGenerator(config)
+    producer = WindowedProducer(generator, window_days=1)
+    pools = (
+        generator.countries_pool,
+        generator.services_pool,
+        generator.resolvers_pool,
+    )
+
+    def single(frame):
+        return StreamRollup(*pools).update(frame)
+
+    frames = [producer.generate_window(w) for w in producer.windows]
+    return pools, frames, single
+
+
+def _merge_all(parts):
+    acc = parts[0]
+    for part in parts[1:]:
+        acc.merge(part)
+    return acc
+
+
+def test_merge_equals_fold(window_rollups):
+    """Left-to-right merge of per-window rollups IS the streaming fold,
+    bit for bit — the identity checkpoint/resume relies on."""
+    pools, frames, single = window_rollups
+    fold = StreamRollup(*pools)
+    for frame in frames:
+        fold.update(frame)
+    merged = _merge_all([single(f) for f in frames])
+    assert merged.state_digest() == fold.state_digest()
+
+
+def test_merge_resume_pattern_exact(window_rollups):
+    """Splitting the fold at every prefix point (what a crash at any
+    window boundary produces) is bit-identical to the unbroken fold."""
+    pools, frames, single = window_rollups
+    whole = _merge_all([single(f) for f in frames])
+    for cut in range(1, len(frames)):
+        head = _merge_all([single(f) for f in frames[:cut]])
+        for frame in frames[cut:]:
+            head.update(frame)
+        assert head.state_digest() == whole.state_digest()
+
+
+def test_merge_associative_groupings_exact_where_exact(window_rollups):
+    """Random partitions merged in random order: integer state (flow
+    counts, customer sets, histogram bins) is exact; float-summed state
+    commutes additions, so it is allclose at 1e-9."""
+    pools, frames, single = window_rollups
+    reference = _merge_all([single(f) for f in frames])
+    ref_arrays = reference._state_arrays()
+    rng = np.random.default_rng(99)
+    for _trial in range(4):
+        order = rng.permutation(len(frames))
+        cuts = sorted(rng.choice(range(1, len(frames)), size=2, replace=False))
+        groups = np.split(order, cuts)
+        group_rollups = [
+            _merge_all([single(frames[i]) for i in group]) for group in groups
+        ]
+        regrouped = _merge_all(group_rollups)
+        arrays = regrouped._state_arrays()
+        assert sorted(arrays) == sorted(ref_arrays)
+        for name, ref in ref_arrays.items():
+            got = arrays[name]
+            if np.issubdtype(ref.dtype, np.floating):
+                assert np.allclose(got, ref, rtol=1e-9, atol=0, equal_nan=True), name
+            else:
+                assert np.array_equal(got, ref), name
+
+
+def test_merge_queries_survive_regrouping(window_rollups):
+    """The report-facing queries agree across groupings (rel 1e-9)."""
+    pools, frames, single = window_rollups
+    a = _merge_all([single(f) for f in frames])
+    b = _merge_all([single(f) for f in reversed(frames)])
+    assert a.flows_total == b.flows_total
+    assert np.array_equal(a.customers_c(), b.customers_c())
+    assert np.allclose(a.volume_c(), b.volume_c(), rtol=1e-9)
+    assert np.allclose(a.volume_by_l7(), b.volume_by_l7(), rtol=1e-9)
+
+
+def test_merge_rejects_mismatched_pools(window_rollups):
+    pools, frames, single = window_rollups
+    other = StreamRollup(["Atlantis"], pools[1], pools[2])
+    with pytest.raises(ValueError, match="different pools"):
+        single(frames[0]).merge(other)

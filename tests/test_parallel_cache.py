@@ -6,6 +6,8 @@ cache hit returns exactly what a fresh generate would have produced
 (same values, same dtypes).
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -160,7 +162,9 @@ def test_cache_corrupt_entry_treated_as_miss(tmp_path):
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_bytes(b"not an npz")
     assert cache.load(config) is None
-    assert not path.exists()  # removed, not served
+    assert not path.exists()  # quarantined, not served
+    assert cache.quarantine_path(path).exists()
+    assert cache.injector.stats.quarantined == 1
 
 
 def test_cache_truncated_entry_treated_as_miss(tmp_path):
@@ -173,6 +177,7 @@ def test_cache_truncated_entry_treated_as_miss(tmp_path):
     path.write_bytes(blob[: len(blob) // 2])
     assert cache.load(config) is None
     assert not path.exists()  # evicted, not left to fail again
+    assert cache.quarantine_path(path).exists()
 
 
 def test_cache_corrupt_entry_repaired_on_next_write(tmp_path):
@@ -185,6 +190,74 @@ def test_cache_corrupt_entry_repaired_on_next_write(tmp_path):
     healthy = cache.load(config)  # the miss repopulated a healthy entry
     assert healthy is not None
     _assert_frames_identical(fresh, healthy)
+
+
+def test_cache_store_publishes_atomically(tmp_path, monkeypatch):
+    """Regression for the torn-publish window: a failure mid-store must
+    never leave a partial entry under the published name (the write goes
+    temp → flush → fsync → ``os.replace``), and no temp litter either."""
+    import repro.faults as faults_mod
+
+    config = WorkloadConfig(**SMALL)
+    cache = CaptureCache(tmp_path)
+    frame = WorkloadGenerator(config).generate()
+
+    real_replace = os.replace
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash at publish")
+
+    monkeypatch.setattr(faults_mod.os, "replace", exploding_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        cache.store(config, frame)
+    monkeypatch.setattr(faults_mod.os, "replace", real_replace)
+    assert not cache.path_for(config).exists()  # nothing half-published
+    assert not list(tmp_path.glob("*.tmp"))  # no temp litter
+    assert cache.load(config) is None
+    cache.store(config, frame)  # the directory is still healthy
+    _assert_frames_identical(frame, cache.load(config))
+
+
+def test_cache_store_retries_injected_faults(tmp_path):
+    """Transient injected write/fsync/rename errors are absorbed by the
+    retry loop and the stored entry round-trips byte-identically."""
+    from repro.faults import FaultInjector, FaultPlan, IoFault
+
+    plan = FaultPlan(
+        io_faults=(
+            IoFault(op="cache.store", stage="write", fail_times=1),
+            IoFault(op="cache.store", stage="fsync", fail_times=1),
+            IoFault(op="cache.store", stage="rename", fail_times=1),
+        ),
+        backoff_base_s=0.0,
+    )
+    config = WorkloadConfig(**SMALL)
+    cache = CaptureCache(tmp_path, injector=FaultInjector(plan, sleep=lambda _s: None))
+    frame = WorkloadGenerator(config).generate()
+    cache.store(config, frame)
+    assert cache.injector.stats.injected == 3
+    assert cache.injector.stats.retries == 3
+    assert cache.injector.stats.gave_up == 0
+    assert not list(tmp_path.glob("*.tmp"))
+    _assert_frames_identical(frame, CaptureCache(tmp_path).load(config))
+
+
+def test_cache_torn_store_quarantined_then_regenerated(tmp_path):
+    """A truncate fault tears the published entry; the next load
+    quarantines it and the pipeline regenerates the same capture."""
+    from repro.faults import FaultInjector, FaultPlan, TruncateFault
+
+    plan = FaultPlan(truncate_faults=(TruncateFault(op="cache.store", fraction=0.3),))
+    config = WorkloadConfig(**SMALL)
+    torn_cache = CaptureCache(tmp_path, injector=FaultInjector(plan))
+    fresh, _ = generate_flow_dataset(config, cache=torn_cache)
+    assert torn_cache.injector.stats.truncated == 1
+    healthy_cache = CaptureCache(tmp_path)
+    assert healthy_cache.load(config) is None  # torn entry quarantined
+    assert healthy_cache.injector.stats.quarantined == 1
+    regenerated, _ = generate_flow_dataset(config, cache=healthy_cache)
+    _assert_frames_identical(fresh, regenerated)
+    _assert_frames_identical(fresh, healthy_cache.load(config))
 
 
 def test_cache_bypassed_for_custom_models(tmp_path):

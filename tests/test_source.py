@@ -56,7 +56,7 @@ def test_bad_manifest(tmp_path):
     bad = tmp_path / "bad"
     bad.mkdir()
     (bad / "manifest.json").write_text("{ not json")
-    with pytest.raises(CaptureError, match="bad capture manifest"):
+    with pytest.raises(CaptureError, match="corrupt capture manifest"):
         load_capture(bad)
 
 
@@ -64,7 +64,7 @@ def test_wrong_schema_manifest(tmp_path):
     bad = tmp_path / "schema"
     bad.mkdir()
     (bad / "manifest.json").write_text(json.dumps({"schema": 999}))
-    with pytest.raises(CaptureError, match="cannot open capture"):
+    with pytest.raises(CaptureError, match="corrupt capture manifest"):
         load_capture(bad)
 
 

@@ -471,16 +471,40 @@ def test_resume_rejects_different_config(tmp_path):
         run_stream_capture(other, tmp_path / "cap", resume=True)
 
 
-def test_resume_rejects_corrupt_rollup(tmp_path):
+def test_resume_heals_tampered_rollup(tmp_path):
+    """A rollup that disagrees with the checkpoint digest (tampered, or
+    left ahead by a crash between save and commit) is rebuilt from the
+    committed windows — and the rebuild is bit-identical."""
     config = StreamConfig(workload=TINY, window_days=1, compress=False)
-    partial = run_stream_capture(config, tmp_path / "cap", max_windows=1)
+    baseline = run_stream_capture(config, tmp_path / "clean")
+    run_stream_capture(config, tmp_path / "cap", max_windows=1)
     # tamper with the persisted rollup behind the checkpoint's back
     rollup = StreamRollup.load(rollup_path(tmp_path / "cap"))
     rollup.flows_total += 1
     rollup.save(rollup_path(tmp_path / "cap"))
+    from repro.faults import FaultInjector
+
+    injector = FaultInjector(None)  # fresh stats, no faults armed
+    resumed = run_stream_capture(
+        config, tmp_path / "cap", resume=True, faults=injector
+    )
+    assert resumed.complete
+    assert resumed.rollup.state_digest() == baseline.rollup.state_digest()
+    assert resumed.fault_stats.rollup_rebuilds == 1
+
+
+def test_resume_rejects_unrecoverable_rollup(tmp_path):
+    """When the rollup digest mismatches AND a committed window is gone,
+    the re-fold cannot heal the capture: diagnostic CaptureError."""
+    config = StreamConfig(workload=TINY, window_days=1, compress=False)
+    run_stream_capture(config, tmp_path / "cap", max_windows=1)
+    rollup = StreamRollup.load(rollup_path(tmp_path / "cap"))
+    rollup.flows_total += 1
+    rollup.save(rollup_path(tmp_path / "cap"))
+    store = FlowStore.open(tmp_path / "cap")
+    store.window_path(store.windows[0].index).write_bytes(b"\x00" * 64)
     with pytest.raises(ValueError, match="corrupt"):
         run_stream_capture(config, tmp_path / "cap", resume=True)
-    del partial
 
 
 def test_rollup_digest_independent_of_window_grouping(tmp_path):
