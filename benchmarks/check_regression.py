@@ -1,4 +1,4 @@
-"""Fail CI when generator throughput regresses past the recorded baseline.
+"""Fail CI when a guarded hot path regresses past its recorded baseline.
 
 Usage::
 
@@ -6,11 +6,13 @@ Usage::
         --benchmark-json=/tmp/bench.json
     python benchmarks/check_regression.py /tmp/bench.json
 
-Compares the mean of the benchmark named in ``BENCH_parallel.json``'s
-``regression_guard`` block against ``baseline_mean_ms`` and exits
-non-zero when the slowdown exceeds ``max_slowdown``. The factor is
-deliberately loose (2x) so shared-runner noise does not flake the
-build; a genuine hot-path regression blows well past it.
+Collects guard rows from ``BENCH_parallel.json``'s ``regression_guard``
+block (a single row or a list of rows) and ``BENCH_stream.json``'s
+``regression_guards`` list, compares each row's benchmark mean against
+``baseline_mean_ms``, and exits non-zero when any slowdown exceeds that
+row's ``max_slowdown``. The factors are deliberately loose (2x+) so
+shared-runner noise does not flake the build; a genuine hot-path
+regression blows well past them.
 """
 
 from __future__ import annotations
@@ -22,31 +24,44 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def _load_guards() -> list[dict]:
+    guards: list[dict] = []
+    parallel = json.loads((REPO_ROOT / "BENCH_parallel.json").read_text())
+    block = parallel.get("regression_guard", [])
+    guards.extend(block if isinstance(block, list) else [block])
+    stream = json.loads((REPO_ROOT / "BENCH_stream.json").read_text())
+    guards.extend(stream.get("regression_guards", []))
+    return guards
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
         print(__doc__)
         return 2
-    guard = json.loads((REPO_ROOT / "BENCH_parallel.json").read_text())[
-        "regression_guard"
-    ]
     results = json.loads(Path(argv[1]).read_text())
-    matches = [
-        bench
-        for bench in results["benchmarks"]
-        if bench["name"] == guard["benchmark"]
-    ]
-    if not matches:
-        print(f"error: benchmark {guard['benchmark']!r} not found in {argv[1]}")
+    by_name = {bench["name"]: bench for bench in results["benchmarks"]}
+    guards = _load_guards()
+    if not guards:
+        print("error: no regression guards recorded in the BENCH files")
         return 2
-    mean_ms = matches[0]["stats"]["mean"] * 1000.0
-    limit_ms = guard["baseline_mean_ms"] * guard["max_slowdown"]
-    verdict = "OK" if mean_ms <= limit_ms else "REGRESSION"
-    print(
-        f"{guard['benchmark']}: mean {mean_ms:.1f} ms, "
-        f"baseline {guard['baseline_mean_ms']:.1f} ms, "
-        f"limit {limit_ms:.1f} ms ({guard['max_slowdown']}x) -> {verdict}"
-    )
-    return 0 if verdict == "OK" else 1
+    failed = False
+    for guard in guards:
+        bench = by_name.get(guard["benchmark"])
+        if bench is None:
+            print(
+                f"error: benchmark {guard['benchmark']!r} not found in {argv[1]}"
+            )
+            return 2
+        mean_ms = bench["stats"]["mean"] * 1000.0
+        limit_ms = guard["baseline_mean_ms"] * guard["max_slowdown"]
+        verdict = "OK" if mean_ms <= limit_ms else "REGRESSION"
+        failed |= verdict != "OK"
+        print(
+            f"{guard['benchmark']}: mean {mean_ms:.1f} ms, "
+            f"baseline {guard['baseline_mean_ms']:.1f} ms, "
+            f"limit {limit_ms:.1f} ms ({guard['max_slowdown']}x) -> {verdict}"
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

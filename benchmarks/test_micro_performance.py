@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.classify import ServiceClassifier
+from repro.kernels import sniff
 from repro.stream.rollup import HourlyRollup
 from repro.flowmeter.meter import FlowMeter
 from repro.net.packet import IPProtocol, Packet, TCPFlags
@@ -46,6 +47,78 @@ def test_micro_flowmeter_throughput(benchmark):
     assert len(meter.records) == 200
     # keep an eye on per-packet cost: this path must stay >50k pkts/s
     assert meter.packets_processed == len(packets)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_flowmeter_vectorized(benchmark):
+    """Same stream as the python micro above, through the batch kernel.
+    The ratio of the two means is the kernel speedup the BENCH files
+    record; identity of the outputs is tests/test_kernels.py's job."""
+    packets = _packet_stream()
+
+    def run():
+        meter = FlowMeter(engine="vectorized", batch_size=512)
+        meter.process_batch(packets)
+        meter.flush_all()
+        return meter
+
+    meter = benchmark(run)
+    assert len(meter.records) == 200
+    assert meter.packets_processed == len(packets)
+
+
+def _sniff_corpus(n=20_000, seed=5):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, 64, size=n)
+    return [rng.bytes(int(k)) for k in lengths]
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_sniffers_scalar(benchmark):
+    payloads = _sniff_corpus()
+
+    def run():
+        return {
+            name: [oracle(p) for p in payloads]
+            for name, oracle in sniff.SCALAR_ORACLES.items()
+        }
+
+    verdicts = benchmark(run)
+    assert set(verdicts) == set(sniff.BATCH_SNIFFERS)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_sniffers_batch(benchmark):
+    payloads = _sniff_corpus()
+
+    def run():
+        return sniff.sniff_matrix(payloads)
+
+    verdicts = benchmark(run)
+    # spot-check the batch verdicts against the scalar oracles
+    for name, oracle in sniff.SCALAR_ORACLES.items():
+        got = verdicts[name]
+        assert len(got) == len(payloads)
+        assert [bool(v) for v in got[:256]] == [
+            oracle(p) for p in payloads[:256]
+        ]
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_simnet_at_batch(benchmark):
+    from repro.simnet.engine import Simulator
+
+    def run():
+        sim = Simulator()
+        hits = []
+        sim.at_batch(
+            [(float(t), hits.append, (t,)) for t in range(20_000)]
+        )
+        sim.run()
+        return hits
+
+    hits = benchmark(run)
+    assert len(hits) == 20_000
 
 
 @pytest.mark.benchmark(group="micro")

@@ -30,7 +30,9 @@ from repro.scenario import get_scenario
 def main() -> None:
     n_customers = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     days = int(sys.argv[2]) if len(sys.argv) > 2 else 3
-    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    raw_workers = os.environ.get("REPRO_WORKERS", "1")
+    # "auto" = one worker per usable core, same as the CLI's --workers auto
+    workers = 0 if raw_workers.strip().lower() == "auto" else int(raw_workers)
 
     scenario = get_scenario("baseline-geo").with_overrides(
         {

@@ -67,6 +67,20 @@ def _worker_count(value: str) -> int:
     return parsed
 
 
+def _nonnegative_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {parsed}"
+        )
+    return parsed
+
+
 def _positive_int(value: str) -> int:
     try:
         parsed = int(value)
@@ -191,6 +205,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="spill raw npz windows (faster, ~3x more disk)",
     )
+    stream.add_argument(
+        "--pipeline-depth",
+        type=_nonnegative_int,
+        default=None,
+        help="windows generated ahead of the spill/fold commit thread "
+        "(0 = lockstep; default 1); output is identical at any depth",
+    )
+    stream.add_argument(
+        "--engine",
+        choices=("python", "vectorized"),
+        default=None,
+        help="packet-path compute engine (digest-identical; default "
+        "python)",
+    )
 
     scen = sub.add_parser(
         "scenarios", help="list the registered scenarios and their digests"
@@ -252,13 +280,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "omitted: generate the scenario's capture through the cache",
     )
 
-    sub.add_parser("packet-sim", help="packet-level methodology validation")
+    psim = sub.add_parser("packet-sim", help="packet-level methodology validation")
+    psim.add_argument(
+        "--engine",
+        choices=("python", "vectorized"),
+        default="python",
+        help="flow-meter compute engine (records are identical)",
+    )
 
     mixed = sub.add_parser(
         "mixed-sim", help="TLS 1.3 / HTTP / QUIC / RTP through the packet path"
     )
     mixed.add_argument("--country", default="Spain")
     mixed.add_argument("--n", type=int, default=3, help="clients per protocol")
+    mixed.add_argument(
+        "--engine",
+        choices=("python", "vectorized"),
+        default="python",
+        help="flow-meter compute engine (records are identical)",
+    )
 
     err = sub.add_parser("errant", help="fit/compare ERRANT profiles")
     err.add_argument("--dataset", required=True)
@@ -298,6 +338,10 @@ def _scenario_from_args(args: argparse.Namespace) -> "Scenario":
         flags["stream.window_days"] = args.window_days
     if getattr(args, "no_compress", False):
         flags["execution.compress"] = False
+    if getattr(args, "pipeline_depth", None) is not None:
+        flags["execution.pipeline_depth"] = args.pipeline_depth
+    if getattr(args, "engine", None) is not None:
+        flags["execution.engine"] = args.engine
     return scenario.with_overrides(flags, source="flag")
 
 
@@ -349,7 +393,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             max_windows=args.max_windows,
             on_window=lambda t: print(
                 f"window {t.window}: days [{t.day_lo},{t.day_hi}) "
-                f"{t.flows:,} flows in {t.gen_seconds + t.fold_seconds:.1f} s",
+                f"{t.flows:,} flows in {t.busy_seconds:.1f} s",
                 file=sys.stderr,
             ),
         )
@@ -473,12 +517,12 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0 if scorecard.passed == scorecard.total else 1
 
 
-def _cmd_packet_sim(_args: argparse.Namespace) -> int:
+def _cmd_packet_sim(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.pipeline import run_packet_simulation
 
-    result = run_packet_simulation()
+    result = run_packet_simulation(engine=args.engine)
     sats = np.array([r.sat_rtt_ms for r in result.tls_records])
     grounds = np.array([r.rtt_avg_ms for r in result.tls_records])
     print(
@@ -526,7 +570,9 @@ def _cmd_mixed_sim(args: argparse.Namespace) -> int:
 
     from repro.pipeline import run_mixed_protocol_simulation
 
-    result = run_mixed_protocol_simulation(country=args.country, n_each=args.n)
+    result = run_mixed_protocol_simulation(
+        country=args.country, n_each=args.n, engine=args.engine
+    )
     by_l7 = {}
     for record in result.records:
         by_l7.setdefault(record.l7.value, []).append(record)

@@ -1,0 +1,197 @@
+"""Batched flow metering.
+
+:func:`process_packet_batch` meters a batch of packets against a
+:class:`~repro.flowmeter.meter.FlowMeter` with the same observable
+result as feeding them to ``meter.process`` one at a time, in order —
+same flow table, counters, RTT samples, DPI results, and the same
+records in the same order. The win comes from hoisting the per-packet
+costs to per-batch or per-flow: one attribute-extraction pass builds
+columnar arrays and groups packets by flow, counters fold as masked
+numpy sums, the flow-finished scan is a vector accumulate instead of
+a per-packet dict walk, and DPI replay stops as soon as the engine
+reports :attr:`~repro.flowmeter.dpi.DpiEngine.observable_frozen`.
+
+Exactness contract
+------------------
+The kernel either mutates the meter *exactly* as the per-packet
+oracle would and returns ``True``, or detects a shape it cannot
+reproduce and returns ``False`` **before mutating anything** — the
+caller then replays the batch through the python path. The two
+unsupported shapes, both rare in real traffic, are found in the
+read-only pre-scan:
+
+* a flow that would *finish* (RST, or FIN in both directions) before
+  its last packet of the batch — the oracle emits mid-batch and a
+  later packet could re-open the 5-tuple;
+* a TCP group whose first packet would be dropped by the stray
+  teardown-ACK rule while a later packet opens the flow — the oracle
+  ignores the stray, so batch membership differs from group
+  membership.
+
+Timestamps, byte counts and RTT math go through the same python-float
+operations as the oracle (numpy is used only for integer sums, masks
+and boolean accumulates), so there is no float-precision drift.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.net.flowkey import Direction, FiveTuple
+from repro.net.packet import IPProtocol, TCPFlags
+
+_C2S = Direction.CLIENT_TO_SERVER
+_S2C = Direction.SERVER_TO_CLIENT
+_FIN = int(TCPFlags.FIN)
+_SYN = int(TCPFlags.SYN)
+_RST = int(TCPFlags.RST)
+_ACK = int(TCPFlags.ACK)
+
+
+def process_packet_batch(meter, packets: Sequence) -> bool:
+    """Meter ``packets`` in one batched pass; see the module docstring
+    for the exactness contract. Returns ``False`` (having changed
+    nothing) when the batch needs the per-packet oracle."""
+    n = len(packets)
+    if n == 0:
+        return True
+
+    # -- columnar extraction + flow grouping (one python pass) ---------
+    ts = np.empty(n, dtype=np.float64)
+    plen = np.empty(n, dtype=np.int64)
+    flags = np.empty(n, dtype=np.int64)
+    src_ip = np.empty(n, dtype=np.int64)
+    src_port = np.empty(n, dtype=np.int64)
+    groups: Dict[tuple, List[int]] = {}
+    for i, packet in enumerate(packets):
+        ts[i] = packet.timestamp
+        plen[i] = len(packet.payload)
+        flags[i] = packet.flags
+        sip = packet.src_ip
+        spt = packet.src_port
+        src_ip[i] = sip
+        src_port[i] = spt
+        a = (sip, spt)
+        b = (packet.dst_ip, packet.dst_port)
+        key = (a, b, packet.protocol) if a <= b else (b, a, packet.protocol)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [i]
+        else:
+            bucket.append(i)
+
+    fin = (flags & _FIN) != 0
+    rst = (flags & _RST) != 0
+    has_ack = (flags & _ACK) != 0
+    opens = ((flags & _SYN) != 0) | (plen > 0)
+
+    # -- read-only pre-scan: resolve states, reject unsupported shapes -
+    by_orientation = meter._by_orientation
+    plan = []
+    for idx in groups.values():
+        first = packets[idx[0]]
+        tcp = first.protocol == IPProtocol.TCP
+        forward, _ = FiveTuple.from_packet(first)
+        hit = by_orientation.get(forward)
+        state = hit[0] if hit is not None else None
+        if state is None and tcp:
+            g_opens = opens[idx]
+            if not g_opens.any():
+                # Every packet is a stray teardown ACK: the oracle
+                # ignores them all (no flow is ever opened).
+                plan.append((idx, None, None, None, False, tcp))
+                continue
+            if not g_opens[0]:
+                return False  # stray prefix before the opening packet
+        key = state.key if state is not None else forward
+        gidx = np.asarray(idx, dtype=np.int64)
+        c2s = (src_ip[gidx] == key.client_ip) & (src_port[gidx] == key.client_port)
+        emit_last = False
+        if tcp:
+            fin_c = np.logical_or.accumulate(fin[gidx] & c2s)
+            fin_s = np.logical_or.accumulate(fin[gidx] & ~c2s)
+            rst_cum = np.logical_or.accumulate(rst[gidx])
+            if state is not None:
+                fin_c |= state.fin_seen[_C2S]
+                fin_s |= state.fin_seen[_S2C]
+                rst_cum |= state.rst_seen
+            finished = rst_cum | (fin_c & fin_s)
+            if finished.any():
+                if int(finished.argmax()) != len(idx) - 1:
+                    return False  # flow finishes mid-batch (straddle)
+                emit_last = True
+        plan.append((idx, gidx, state, c2s, emit_last, tcp))
+
+    # -- mutation: groups in first-packet order, like oracle creation --
+    from repro.flowmeter.meter import _FIRST_PKT_TIMES_KEPT, _FlowState
+
+    flows = meter._flows
+    emissions = []
+    for idx, gidx, state, c2s, emit_last, tcp in plan:
+        if gidx is None:
+            continue
+        if state is None:
+            first = packets[idx[0]]
+            forward, _ = FiveTuple.from_packet(first)
+            state = _FlowState(
+                key=forward, ts_start=first.timestamp, ts_end=first.timestamp
+            )
+            flows[forward] = state
+            by_orientation[forward] = (state, _C2S)
+            if state.key_reversed != forward:
+                by_orientation[state.key_reversed] = (state, _S2C)
+
+        state.ts_end = max(state.ts_end, float(ts[gidx].max()))
+        room = _FIRST_PKT_TIMES_KEPT - len(state.first_pkt_times)
+        if room > 0:
+            state.first_pkt_times.extend(packets[j].timestamp for j in idx[:room])
+
+        gplen = plen[gidx]
+        state.bytes_up += int(gplen[c2s].sum())
+        state.bytes_down += int(gplen[~c2s].sum())
+        n_up = int(c2s.sum())
+        state.pkts_up += n_up
+        state.pkts_down += len(idx) - n_up
+
+        if tcp:
+            rtt = state.rtt
+            pending = rtt._pending
+            for k, j in enumerate(idx):
+                direction, opposite = (_C2S, _S2C) if c2s[k] else (_S2C, _C2S)
+                packet = packets[j]
+                payload_len = int(plen[j])
+                if payload_len > 0:
+                    rtt.on_data(direction, packet.seq, payload_len, packet.timestamp)
+                # on_ack with nothing pending in the data direction is
+                # a provable no-op — skip the call.
+                if has_ack[j] and pending[opposite]:
+                    rtt.on_ack(direction, packet.ack, packet.timestamp)
+            if (fin[gidx] & c2s).any():
+                state.fin_seen[_C2S] = True
+            if (fin[gidx] & ~c2s).any():
+                state.fin_seen[_S2C] = True
+            if rst[gidx].any():
+                state.rst_seen = True
+
+        dpi = state.dpi
+        if not dpi.observable_frozen:
+            for k, j in enumerate(idx):
+                if plen[j] == 0:
+                    continue
+                packet = packets[j]
+                dpi.on_payload(
+                    _C2S if c2s[k] else _S2C, packet.payload, packet.timestamp
+                )
+                if dpi.observable_frozen:
+                    break
+
+        if emit_last:
+            emissions.append((idx[-1], state))
+
+    # Emit in finishing-packet order — the oracle's records order.
+    for _, state in sorted(emissions, key=lambda item: item[0]):
+        meter._emit(state)
+    meter.packets_processed += n
+    return True

@@ -26,7 +26,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -99,12 +99,23 @@ def default_shard_count(n_customers: int) -> int:
     return max(1, min(DEFAULT_MAX_SHARDS, n_customers // TARGET_SHARD_CUSTOMERS))
 
 
-def resolve_workers(n_workers: Optional[int]) -> int:
+def resolve_workers(n_workers: Union[int, str, None]) -> int:
     """Map the ``n_workers`` knob to a concrete process count.
 
-    ``None`` or ``0`` mean "one per available core"; negative values
-    are rejected.
+    ``None``, ``0`` or the string ``"auto"`` mean "one per *available*
+    core": the CPUs this process may actually run on
+    (``os.sched_getaffinity``), not the machine total (``os.cpu_count``)
+    — in a container or cgroup-restricted CI runner the two differ, and
+    sizing the fork pool by the machine total oversubscribes the quota.
+    Negative counts and other strings are rejected.
     """
+    if isinstance(n_workers, str):
+        if n_workers.strip().lower() == "auto":
+            n_workers = 0
+        else:
+            raise ValueError(
+                f"n_workers must be an integer or 'auto' (got {n_workers!r})"
+            )
     if n_workers is None or n_workers == 0:
         try:
             return len(os.sched_getaffinity(0))
@@ -259,3 +270,185 @@ def generate_window_shards(
         return [_run_window_shard(shard) for shard in shards]
     finally:
         _WORKER_WINDOW = None
+
+
+# -- persistent pool ---------------------------------------------------------
+
+
+# (generator, injector, parent_pid) inherited copy-on-write by the
+# persistent pool's forked workers. Unlike _WORKER_WINDOW this stays
+# set for the pool's whole lifetime: the window coordinates travel as
+# small picklable per-task arguments instead, so one fork serves every
+# window of the capture.
+_POOL_CONTEXT: Optional[Tuple["WorkloadGenerator", FaultInjector, int]] = None
+
+#: One pool task: (shard, n_windows, window_index, day_lo, day_hi).
+_PoolTask = Tuple[ShardSpec, int, int, int, int]
+
+
+def _run_pool_task(task: _PoolTask) -> Optional["FlowFrame"]:
+    assert _POOL_CONTEXT is not None, "pool worker started without context"
+    generator, injector, parent_pid = _POOL_CONTEXT
+    shard, n_windows, window_index, day_lo, day_hi = task
+    if os.getpid() != parent_pid and injector.crash_worker(
+        window_index, shard.index
+    ):
+        os._exit(66)
+    rng = np.random.default_rng(
+        spawn_window_seed(generator.config.seed, shard, n_windows, window_index)
+    )
+    return generator.generate_shard_days(shard, day_lo, day_hi, rng)
+
+
+class ShardWorkerPool:
+    """A fork pool kept hot across the windows of a streaming capture.
+
+    :func:`generate_window_shards` re-forks a fresh
+    ``ProcessPoolExecutor`` for every window, paying process spawn and
+    teardown per window. This pool forks **once** — the workers inherit
+    the fully initialized generator copy-on-write via
+    :data:`_POOL_CONTEXT` — and then serves every window over the same
+    processes; only the tiny ``(shard, window)`` coordinates cross the
+    pipe per task. Output is byte-identical to the per-window pool and
+    to serial execution because each (shard, window) cell draws from
+    its own :func:`spawn_window_seed` stream.
+
+    Fork-with-threads note: with the ``fork`` start method the executor
+    launches *all* workers in its constructor, so creating the pool
+    before any sibling thread starts (the pipelined producer's commit
+    thread) guarantees the children never inherit a mid-held lock. A
+    worker killed mid-window breaks the executor; the window is then
+    regenerated in-process (identical frames) and the pool is lazily
+    re-forked for the next window — the only fork that can race a live
+    thread, and the children run nothing but generator code.
+
+    On platforms without ``fork``, with ``n_workers <= 1``, or when
+    process creation fails outright, every window runs in-process.
+    """
+
+    def __init__(
+        self,
+        generator: "WorkloadGenerator",
+        n_workers: int,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.generator = generator
+        self.injector = injector if injector is not None else NO_FAULTS
+        self.n_workers = max(0, n_workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._serial_forever = (
+            self.n_workers <= 1
+            or "fork" not in multiprocessing.get_all_start_methods()
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        global _POOL_CONTEXT
+        if self._executor is not None or self._serial_forever:
+            return self._executor
+        _POOL_CONTEXT = (self.generator, self.injector, os.getpid())
+        try:
+            context = multiprocessing.get_context("fork")
+            # Forks all n_workers children right here (fork pools do not
+            # spawn lazily) — each snapshots _POOL_CONTEXT.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=context
+            )
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            warnings.warn(
+                f"persistent worker pool unavailable ({exc}); generating "
+                "windows in-process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._serial_forever = True
+            _POOL_CONTEXT = None
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        # _POOL_CONTEXT stays set: the next window lazily re-forks.
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def warm(self) -> None:
+        """Fork the workers now (no-op when running serially).
+
+        Call before starting any sibling thread: fork pools launch all
+        their children inside the executor constructor, so a warmed
+        pool's workers are guaranteed thread-free copies.
+        """
+        self._ensure_executor()
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        global _POOL_CONTEXT
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        _POOL_CONTEXT = None
+
+    def __enter__(self) -> "ShardWorkerPool":
+        self._ensure_executor()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- work ----------------------------------------------------------
+
+    def generate_window(
+        self,
+        shards: Sequence[ShardSpec],
+        n_windows: int,
+        window_index: int,
+        day_lo: int,
+        day_hi: int,
+    ) -> List[Optional["FlowFrame"]]:
+        """One window's shard frames, in shard order.
+
+        Same contract as :func:`generate_window_shards`: the worker
+        count never changes a byte of the output, and a worker crash
+        costs the pool, not the run — the window is regenerated
+        in-process from the same RNG streams.
+        """
+        executor = self._ensure_executor()
+        if executor is not None:
+            tasks = [
+                (shard, n_windows, window_index, day_lo, day_hi)
+                for shard in shards
+            ]
+            try:
+                return list(executor.map(_run_pool_task, tasks))
+            except BrokenProcessPool:
+                self.injector.stats.worker_crashes += 1
+                warnings.warn(
+                    f"pool worker died generating window {window_index}; "
+                    "regenerating its shards in-process (output unchanged) "
+                    "and re-forking the pool",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._discard_executor()
+        return [
+            self._generate_local(shard, n_windows, window_index, day_lo, day_hi)
+            for shard in shards
+        ]
+
+    def _generate_local(
+        self,
+        shard: ShardSpec,
+        n_windows: int,
+        window_index: int,
+        day_lo: int,
+        day_hi: int,
+    ) -> Optional["FlowFrame"]:
+        # In-process execution never crash-injects (mirrors the
+        # parent_pid gate of the forked path).
+        rng = np.random.default_rng(
+            spawn_window_seed(
+                self.generator.config.seed, shard, n_windows, window_index
+            )
+        )
+        return self.generator.generate_shard_days(shard, day_lo, day_hi, rng)

@@ -73,6 +73,7 @@ class PacketSimResult:
 def run_packet_simulation(
     config: Optional[PacketSimConfig] = None,
     scenario: Optional["Scenario"] = None,
+    engine: Optional[str] = None,
 ) -> PacketSimResult:
     """Drive TLS downloads and DNS lookups through the packet network.
 
@@ -80,15 +81,20 @@ def run_packet_simulation(
     to a CDN server plus one DNS query; the flow meter observes the
     ground station. The result carries app-side ground truth so tests
     can check the probe's estimators. ``scenario`` selects which
-    satellite model the packets traverse (default: ``baseline-geo``).
+    satellite model the packets traverse (default: ``baseline-geo``) and
+    its ``execution.engine`` drives the flow meter unless ``engine``
+    overrides it — records are identical either way.
     """
     config = config or PacketSimConfig()
+    if engine is None:
+        engine = scenario.execution.engine if scenario is not None else "python"
     sim = Simulator()
     internet = InternetModel()
     for svc in SERVICES.values():
         internet.register_deployment(deployment(svc.name, svc.footprint, svc.policy))
     meter = FlowMeter(
-        anonymizer=PrefixPreservingAnonymizer(b"repro-key") if config.anonymize else None
+        anonymizer=PrefixPreservingAnonymizer(b"repro-key") if config.anonymize else None,
+        engine=engine,
     )
     rng = np.random.default_rng(config.seed)
     network = SatComPacketNetwork(
@@ -176,6 +182,7 @@ def run_mixed_protocol_simulation(
     seed: int = 21,
     country: str = "Spain",
     n_each: int = 3,
+    engine: str = "python",
 ) -> MixedSimResult:
     """Drive TLS 1.3, plain HTTP, QUIC and RTP through the packet path.
 
@@ -198,7 +205,7 @@ def run_mixed_protocol_simulation(
     internet = InternetModel()
     for svc in SERVICES.values():
         internet.register_deployment(deployment(svc.name, svc.footprint, svc.policy))
-    meter = FlowMeter()
+    meter = FlowMeter(engine=engine)
     rng = np.random.default_rng(seed)
     network = SatComPacketNetwork(sim, internet, meter=meter, rng=rng, hour_utc=15.0)
 

@@ -87,12 +87,16 @@ def run_qos_scenario(
         else:
             fifo.append((size, deliver))
 
-    # Poisson arrivals per class.
+    # Poisson arrivals per class, bulk-scheduled: tens of thousands of
+    # pre-known events heapify once instead of sifting one by one
+    # (identical pop order — at_batch draws the same seq counter).
+    arrivals: List[tuple] = []
     for cls, (rate, size) in config.offered.items():
         t = float(rng.exponential(1.0 / rate))
         while t < config.duration_s:
-            sim.at(t, arrival, cls, size)
+            arrivals.append((t, arrival, (cls, size)))
             t += float(rng.exponential(1.0 / rate))
+    sim.at_batch(arrivals)
 
     # Service loop: every tick, drain what the link can carry.
     tick = 0.005

@@ -59,11 +59,24 @@ class WindowTelemetry:
     """Fault events injected while producing this window."""
     io_retries: int = 0
     """IO attempts retried (after injected or real transient errors)."""
+    spill_seconds: float = 0.0
+    """Time writing the window's npz spill (split out of the fold so
+    stage overlap is observable; defaults to zero so pre-split
+    checkpoints keep loading)."""
 
     @property
     def flows_per_s(self) -> float:
-        busy = self.gen_seconds + self.fold_seconds
+        busy = self.gen_seconds + self.spill_seconds + self.fold_seconds
         return self.flows / busy if busy > 0 else float("nan")
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total stage time of this window (gen + spill + fold).
+
+        Under the pipelined producer the stages of *different* windows
+        overlap, so the capture's wall clock is less than the sum of
+        these — that gap is the pipelining win."""
+        return self.gen_seconds + self.spill_seconds + self.fold_seconds
 
 
 @dataclass

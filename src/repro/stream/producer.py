@@ -16,11 +16,26 @@ is statistically equivalent but not byte-equal to
 of :func:`repro.cache.stream_capture_key`. What *is* byte-equal, by
 construction, is any two streaming runs of the same config — including
 a killed-and-resumed one (see :mod:`repro.stream.checkpoint`).
+
+Execution is *pipelined* by default (``StreamConfig.pipeline_depth``):
+window N+1's shards are generated on a persistent fork pool
+(:class:`repro.parallel.ShardWorkerPool`, forked once for the whole
+capture) while window N's spill, rollup fold and checkpoint commit run
+on a background thread, connected by a bounded queue so at most
+``pipeline_depth + 2`` window frames are ever resident. The commit
+thread performs the *entire* PR-2 commit sequence for each window in
+index order — spill → rollup save → checkpoint — so every named
+kill-point and the byte-identical-resume guarantee survive the
+overlap untouched; ``pipeline_depth=0`` recovers the lockstep loop.
+Neither knob is content: digests are identical across depths, worker
+counts and engines.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import queue
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,7 +47,8 @@ from repro.analysis.dataset import FlowFrame
 from repro.analysis.source import CaptureError
 from repro.cache import stream_capture_key
 from repro.faults import FaultInjector, FaultPlan, FaultStats, resolve_injector
-from repro.parallel import generate_window_shards, resolve_workers
+from repro.kernels import resolve_engine
+from repro.parallel import ShardWorkerPool, generate_window_shards, resolve_workers
 from repro.stream.checkpoint import (
     Checkpoint,
     WindowTelemetry,
@@ -100,6 +116,16 @@ class StreamConfig:
     faults: Optional[FaultPlan] = None
     """Chaos plan for this run — execution-only, never part of the
     capture key (faults change timing and retries, never the flows)."""
+    pipeline_depth: int = 1
+    """Windows allowed in flight between generation and commit. ``0``
+    runs the stages lockstep in one thread; ``N >= 1`` lets generation
+    run up to ``N`` windows ahead of the commit thread. Execution-only:
+    never part of the capture key, digests are identical at any depth."""
+    engine: str = "python"
+    """Kernel engine (``python`` or ``vectorized``) recorded for the
+    packet-level components (:mod:`repro.kernels`). Execution-only and
+    digest-neutral by contract — the streaming generator is already
+    columnar, so both engines produce bit-identical captures."""
 
     def capture_key(self) -> str:
         keyed = self.scenario if self.scenario is not None else self.workload
@@ -125,13 +151,27 @@ class WindowedProducer:
         window: WindowSpec,
         n_workers: int = 1,
         injector: Optional[FaultInjector] = None,
+        pool: Optional[ShardWorkerPool] = None,
     ) -> FlowFrame:
         """One window's flows, merged in shard order (never ``None`` —
-        a windowless window yields an empty frame with the pools)."""
+        a windowless window yields an empty frame with the pools).
+
+        ``pool`` routes shard generation through a persistent
+        :class:`~repro.parallel.ShardWorkerPool` (forked once, reused
+        across windows); without one, a transient per-window pool is
+        used. Either way the output is byte-identical.
+        """
         shards = self.generator.shard_plan()
-        frames = [
-            frame
-            for frame in generate_window_shards(
+        if pool is not None:
+            shard_frames = pool.generate_window(
+                shards,
+                len(self.windows),
+                window.index,
+                window.day_lo,
+                window.day_hi,
+            )
+        else:
+            shard_frames = generate_window_shards(
                 self.generator,
                 shards,
                 len(self.windows),
@@ -141,8 +181,7 @@ class WindowedProducer:
                 n_workers,
                 injector=injector,
             )
-            if frame is not None
-        ]
+        frames = [frame for frame in shard_frames if frame is not None]
         if not frames:
             g = self.generator
             return FlowFrame.empty(
@@ -244,6 +283,139 @@ def _recover_rollup(
     return rollup
 
 
+class _WindowCommitter:
+    """The commit side of the producer: spill → fold → checkpoint.
+
+    One instance performs the whole PR-2 commit sequence for each
+    window, **in window-index order**, regardless of execution mode —
+    the lockstep loop calls :meth:`commit` inline, the pipelined mode
+    calls it from a single background thread. Keeping every
+    commit-ordered step (including its kill-points and every
+    ``injector.rng`` draw) on one thread in one function is what makes
+    the fault plan and the byte-identical-resume guarantee independent
+    of ``pipeline_depth``.
+    """
+
+    def __init__(
+        self,
+        capture_dir: Path,
+        store: FlowStore,
+        rollup: StreamRollup,
+        checkpoint: Checkpoint,
+        injector: FaultInjector,
+        on_window: Optional[Callable[[WindowTelemetry], None]],
+    ) -> None:
+        self.capture_dir = capture_dir
+        self.store = store
+        self.rollup = rollup
+        self.checkpoint = checkpoint
+        self.injector = injector
+        self.on_window = on_window
+        # Each window row attributes every fault since the previous
+        # commit: directory-setup and resume-recovery faults land on the
+        # first row, a checkpoint-write fault on the next row. Under
+        # pipelining, generation-side faults (worker crashes) land on
+        # whichever window commits while they happen — attribution is
+        # approximate across overlapped stages, totals stay exact.
+        self._before = injector.stats.copy()
+
+    def commit(
+        self, window: WindowSpec, frame: FlowFrame, gen_seconds: float
+    ) -> WindowTelemetry:
+        injector = self.injector
+        t1 = time.perf_counter()
+        spilled = self.store.write_window(window.index, frame)
+        injector.kill_point(f"stream:w{window.index}:spilled")
+        t2 = time.perf_counter()
+        self.rollup.update(frame)
+        self.rollup.save(rollup_path(self.capture_dir), injector=injector)
+        injector.kill_point(f"stream:w{window.index}:rollup-saved")
+        t3 = time.perf_counter()
+        window_stats = injector.stats.delta(self._before)
+        self._before = injector.stats.copy()
+        telemetry = WindowTelemetry(
+            window=window.index,
+            day_lo=window.day_lo,
+            day_hi=window.day_hi,
+            flows=len(frame),
+            gen_seconds=gen_seconds,
+            spill_seconds=t2 - t1,
+            fold_seconds=t3 - t2,
+            bytes_spilled=spilled,
+            peak_rss_mb=peak_rss_mb(),
+            faults=window_stats.faults,
+            io_retries=window_stats.retries,
+        )
+        self.checkpoint.windows_done = window.index + 1
+        self.checkpoint.rollup_digest = self.rollup.state_digest()
+        self.checkpoint.telemetry.append(telemetry)
+        write_checkpoint(self.capture_dir, self.checkpoint, injector=injector)
+        injector.kill_point(f"stream:w{window.index}:committed")
+        if self.on_window is not None:
+            self.on_window(telemetry)
+        return telemetry
+
+
+def _run_pipelined(
+    producer: WindowedProducer,
+    todo: List[WindowSpec],
+    committer: _WindowCommitter,
+    injector: FaultInjector,
+    workers: int,
+    pool: Optional[ShardWorkerPool],
+    depth: int,
+) -> None:
+    """Overlap generation with the commit sequence.
+
+    The main thread generates windows (through the persistent pool) and
+    feeds ``(window, frame, gen_seconds)`` into a queue bounded at
+    ``depth``; a single commit thread drains it in order. Worst case
+    ``depth + 2`` frames are resident: ``depth`` queued, one being
+    committed, one being generated. A commit failure is parked, the
+    queue is drained without committing (so the producer's blocking
+    ``put`` can never deadlock), and the exception re-raises on the
+    main thread after join — with the checkpoint still covering exactly
+    the windows whose commit sequence finished.
+    """
+    in_flight: "queue.Queue" = queue.Queue(maxsize=depth)
+    failure: List[BaseException] = []
+
+    def _drain() -> None:
+        while True:
+            item = in_flight.get()
+            if item is None:
+                return
+            if failure:
+                continue  # discard: the producer stops at its next check
+            window, frame, gen_seconds = item
+            try:
+                committer.commit(window, frame, gen_seconds)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in main
+                failure.append(exc)
+
+    commit_thread = threading.Thread(
+        target=_drain, name="stream-commit", daemon=True
+    )
+    commit_thread.start()
+    try:
+        for window in todo:
+            if failure:
+                break
+            t0 = time.perf_counter()
+            frame = producer.generate_window(
+                window, n_workers=workers, injector=injector, pool=pool
+            )
+            gen_seconds = time.perf_counter() - t0
+            injector.kill_point(f"stream:w{window.index}:generated")
+            in_flight.put((window, frame, gen_seconds))
+            del frame
+    finally:
+        in_flight.put(None)
+        commit_thread.join()
+    if failure:
+        raise failure[0]
+
+
 def run_stream_capture(
     config: StreamConfig,
     capture_dir: Union[str, Path],
@@ -266,10 +438,22 @@ def run_stream_capture(
     cache writes quarantine, plan-named kill-points SIGKILL the
     process, and the per-window fault/retry counters land in the
     telemetry. Faults never change the generated flows.
+
+    ``config.pipeline_depth`` selects the execution mode: ``0`` is the
+    lockstep generate→spill→fold loop; ``>= 1`` (default ``1``)
+    overlaps window N+1's generation (persistent fork pool) with
+    window N's commit sequence (background thread). The produced
+    capture — windows, rollup, digests, resume behaviour — is
+    bit-identical across depths; only wall clock and transient RSS
+    (up to ``depth + 2`` windows) change.
     """
     capture_dir = Path(capture_dir)
+    if config.pipeline_depth < 0:
+        raise ValueError(
+            f"pipeline_depth must be >= 0 (got {config.pipeline_depth})"
+        )
+    resolve_engine(config.engine)  # validate early; generation is columnar
     injector = resolve_injector(faults if faults is not None else config.faults)
-    before = injector.stats.copy()
     injector.kill_point("stream:init")
     generator = config.build_generator()
     producer = WindowedProducer(generator, config.window_days)
@@ -328,49 +512,45 @@ def run_stream_capture(
             rollup_digest=rollup.state_digest(),
         )
 
-    produced = 0
-    # Each window row attributes every fault since the previous commit:
-    # directory-setup and resume-recovery faults land on the first row,
-    # a checkpoint-write fault on the next row (the final checkpoint
-    # write only shows in the run totals).
-    for window in producer.windows[checkpoint.windows_done :]:
-        if max_windows is not None and produced >= max_windows:
-            break
-        t0 = time.perf_counter()
-        frame = producer.generate_window(
-            window, n_workers=workers, injector=injector
-        )
-        injector.kill_point(f"stream:w{window.index}:generated")
-        t1 = time.perf_counter()
-        spilled = store.write_window(window.index, frame)
-        injector.kill_point(f"stream:w{window.index}:spilled")
-        rollup.update(frame)
-        rollup.save(rollup_path(capture_dir), injector=injector)
-        injector.kill_point(f"stream:w{window.index}:rollup-saved")
-        t2 = time.perf_counter()
-        window_stats = injector.stats.delta(before)
-        before = injector.stats.copy()
-        telemetry = WindowTelemetry(
-            window=window.index,
-            day_lo=window.day_lo,
-            day_hi=window.day_hi,
-            flows=len(frame),
-            gen_seconds=t1 - t0,
-            fold_seconds=t2 - t1,
-            bytes_spilled=spilled,
-            peak_rss_mb=peak_rss_mb(),
-            faults=window_stats.faults,
-            io_retries=window_stats.retries,
-        )
-        checkpoint.windows_done = window.index + 1
-        checkpoint.rollup_digest = rollup.state_digest()
-        checkpoint.telemetry.append(telemetry)
-        write_checkpoint(capture_dir, checkpoint, injector=injector)
-        injector.kill_point(f"stream:w{window.index}:committed")
-        if on_window is not None:
-            on_window(telemetry)
-        produced += 1
-        del frame  # the whole point: at most one window resident
+    todo = producer.windows[checkpoint.windows_done :]
+    if max_windows is not None:
+        todo = todo[: max(0, max_windows)]
+    committer = _WindowCommitter(
+        capture_dir, store, rollup, checkpoint, injector, on_window
+    )
+    # The persistent pool forks eagerly here — before the commit thread
+    # exists — so the workers never inherit a lock held mid-commit.
+    pool = ShardWorkerPool(
+        generator,
+        min(workers, len(generator.shard_plan())),
+        injector=injector,
+    )
+    if todo:
+        pool.warm()
+    try:
+        if config.pipeline_depth == 0 or not todo:
+            # Lockstep: generate → commit, one thread, one frame resident.
+            for window in todo:
+                t0 = time.perf_counter()
+                frame = producer.generate_window(
+                    window, n_workers=workers, injector=injector, pool=pool
+                )
+                gen_seconds = time.perf_counter() - t0
+                injector.kill_point(f"stream:w{window.index}:generated")
+                committer.commit(window, frame, gen_seconds)
+                del frame
+        else:
+            _run_pipelined(
+                producer,
+                todo,
+                committer,
+                injector,
+                workers,
+                pool,
+                config.pipeline_depth,
+            )
+    finally:
+        pool.close()
 
     return StreamResult(
         capture_dir=capture_dir,

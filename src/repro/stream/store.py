@@ -34,6 +34,7 @@ a raw decoder traceback.
 from __future__ import annotations
 
 import json
+import threading
 import zipfile
 import zlib
 from dataclasses import dataclass
@@ -75,7 +76,14 @@ class WindowEntry:
 
 
 class FlowStore:
-    """Append-only windowed capture directory."""
+    """Append-only windowed capture directory.
+
+    Thread contract: the pipelined producer writes windows from a
+    background commit thread while the main thread may still be reading
+    store metadata, so the lazy manifest load is guarded by a lock.
+    Window files themselves need no locking — each window is written
+    exactly once, atomically, by a single thread.
+    """
 
     def __init__(
         self,
@@ -85,6 +93,7 @@ class FlowStore:
         self.directory = Path(directory)
         self.injector = injector if injector is not None else NO_FAULTS
         self._manifest: Optional[dict] = None
+        self._manifest_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -136,27 +145,28 @@ class FlowStore:
 
     @property
     def manifest(self) -> dict:
-        if self._manifest is None:
-            path = self.directory / _MANIFEST
-            if not path.exists():
-                raise FileNotFoundError(f"no manifest at {path}")
-            try:
-                manifest = json.loads(path.read_text())
-            except ValueError as exc:
-                raise CaptureError(
-                    f"corrupt capture manifest {path}: {exc}"
-                ) from exc
-            if not isinstance(manifest, dict):
-                raise CaptureError(
-                    f"corrupt capture manifest {path}: not a JSON object"
-                )
-            if manifest.get("schema") != STORE_SCHEMA:
-                raise CaptureError(
-                    f"corrupt capture manifest {path}: schema "
-                    f"{manifest.get('schema')} != {STORE_SCHEMA}"
-                )
-            self._manifest = manifest
-        return self._manifest
+        with self._manifest_lock:
+            if self._manifest is None:
+                path = self.directory / _MANIFEST
+                if not path.exists():
+                    raise FileNotFoundError(f"no manifest at {path}")
+                try:
+                    manifest = json.loads(path.read_text())
+                except ValueError as exc:
+                    raise CaptureError(
+                        f"corrupt capture manifest {path}: {exc}"
+                    ) from exc
+                if not isinstance(manifest, dict):
+                    raise CaptureError(
+                        f"corrupt capture manifest {path}: not a JSON object"
+                    )
+                if manifest.get("schema") != STORE_SCHEMA:
+                    raise CaptureError(
+                        f"corrupt capture manifest {path}: schema "
+                        f"{manifest.get('schema')} != {STORE_SCHEMA}"
+                    )
+                self._manifest = manifest
+            return self._manifest
 
     @property
     def capture_key(self) -> str:

@@ -46,14 +46,17 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
                 f"{t.flows:,}",
                 f"{t.flows_per_s:,.0f}",
                 f"{t.bytes_spilled / 1e6:.1f}",
-                f"{t.gen_seconds + t.fold_seconds:.2f}",
+                f"{t.gen_seconds * 1e3:,.0f}",
+                f"{t.spill_seconds * 1e3:,.0f}",
+                f"{t.fold_seconds * 1e3:,.0f}",
+                f"{t.busy_seconds:.2f}",
                 f"{t.peak_rss_mb:.0f}",
                 f"{t.faults}",
                 f"{t.io_retries}",
             )
         )
     total_flows = sum(t.flows for t in rows)
-    total_secs = sum(t.gen_seconds + t.fold_seconds for t in rows)
+    total_secs = sum(t.busy_seconds for t in rows)
     table_rows.append(
         (
             "total",
@@ -61,6 +64,9 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
             f"{total_flows:,}",
             f"{total_flows / total_secs:,.0f}" if total_secs > 0 else "-",
             f"{sum(t.bytes_spilled for t in rows) / 1e6:.1f}",
+            f"{sum(t.gen_seconds for t in rows) * 1e3:,.0f}",
+            f"{sum(t.spill_seconds for t in rows) * 1e3:,.0f}",
+            f"{sum(t.fold_seconds for t in rows) * 1e3:,.0f}",
             f"{total_secs:.2f}",
             f"{max((t.peak_rss_mb for t in rows), default=float('nan')):.0f}",
             f"{sum(t.faults for t in rows)}",
@@ -74,6 +80,9 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
             "Flows",
             "Flows/s",
             "Spilled MB",
+            "Gen ms",
+            "Spill ms",
+            "Fold ms",
             "Seconds",
             "Peak RSS MB",
             "Faults",

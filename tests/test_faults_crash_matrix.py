@@ -45,13 +45,13 @@ def baseline_digest(tmp_path_factory):
     return result.rollup.state_digest()
 
 
-def _run_until_killed(capture_dir, plan: FaultPlan) -> None:
+def _run_until_killed(capture_dir, plan: FaultPlan, config=CONFIG) -> None:
     """Fork a producer armed with ``plan``; assert SIGKILL took it."""
     pid = os.fork()
     if pid == 0:  # pragma: no cover - dies by SIGKILL
         try:
             resume = load_checkpoint(capture_dir) is not None
-            run_stream_capture(capture_dir=capture_dir, config=CONFIG,
+            run_stream_capture(capture_dir=capture_dir, config=config,
                                resume=resume, faults=plan)
         finally:
             # only reached if the kill-point failed to fire; exit code 7
@@ -104,6 +104,29 @@ def test_sigkill_on_flaky_disk_then_resume(
     _run_until_killed(capture_dir, plan)
     resume = load_checkpoint(capture_dir) is not None
     result = run_stream_capture(CONFIG, capture_dir, resume=resume)
+    assert result.complete
+    assert result.rollup.state_digest() == baseline_digest
+
+
+@pytest.mark.parametrize("depth", [0, 2], ids=lambda d: f"depth{d}")
+@pytest.mark.parametrize(
+    "kill_point",
+    ["stream:w0:generated", "stream:w1:spilled", "stream:w2:committed"],
+    ids=lambda p: p,
+)
+def test_sigkill_under_pipeline_depths(depth, kill_point, tmp_path, baseline_digest):
+    """The kill matrix holds at every pipeline depth: generation-side
+    and commit-side kill-points both leave a directory that resumes —
+    at any (other) depth — to the uninterrupted digest."""
+    import dataclasses
+
+    config = dataclasses.replace(CONFIG, pipeline_depth=depth)
+    capture_dir = tmp_path / "cap"
+    _run_until_killed(capture_dir, FaultPlan(kill_at=(kill_point,)), config)
+    resume = load_checkpoint(capture_dir) is not None
+    # resume at a *different* depth than the killed run on purpose
+    healer = dataclasses.replace(CONFIG, pipeline_depth=1)
+    result = run_stream_capture(healer, capture_dir, resume=resume)
     assert result.complete
     assert result.rollup.state_digest() == baseline_digest
 

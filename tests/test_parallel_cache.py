@@ -75,6 +75,33 @@ def test_resolve_workers():
         resolve_workers(-1)
 
 
+def test_resolve_workers_accepts_auto_string():
+    assert resolve_workers("auto") == resolve_workers(0)
+    assert resolve_workers(" AUTO ") == resolve_workers(0)
+    with pytest.raises(ValueError):
+        resolve_workers("fast")
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "sched_getaffinity"), reason="needs sched_getaffinity"
+)
+def test_auto_workers_respect_cpu_affinity(monkeypatch):
+    """'auto' must count the cores this process may *use* (cgroup/
+    taskset restrictions), not the machine's — a container pinned to 2
+    of 64 cores should fork 2 workers."""
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3})
+    assert resolve_workers("auto") == 2
+    assert resolve_workers(0) == 2
+    assert resolve_workers(None) == 2
+    # an explicit count is never overridden by affinity
+    assert resolve_workers(6) == 6
+
+
+def test_auto_workers_fall_back_without_affinity(monkeypatch):
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    assert resolve_workers("auto") == (os.cpu_count() or 1)
+
+
 # -- determinism across worker counts --------------------------------------
 
 
