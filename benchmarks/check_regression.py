@@ -7,8 +7,9 @@ Usage::
     python benchmarks/check_regression.py /tmp/bench.json
 
 Collects guard rows from ``BENCH_parallel.json``'s ``regression_guard``
-block (a single row or a list of rows) and ``BENCH_stream.json``'s
-``regression_guards`` list, compares each row's benchmark mean against
+block (a single row or a list of rows) and the ``regression_guards``
+lists of ``BENCH_stream.json`` and ``BENCH_fleet.json``, compares each
+row's benchmark mean against
 ``baseline_mean_ms``, and exits non-zero when any slowdown exceeds that
 row's ``max_slowdown``. The factors are deliberately loose (2x+) so
 shared-runner noise does not flake the build; a genuine hot-path
@@ -31,6 +32,8 @@ def _load_guards() -> list[dict]:
     guards.extend(block if isinstance(block, list) else [block])
     stream = json.loads((REPO_ROOT / "BENCH_stream.json").read_text())
     guards.extend(stream.get("regression_guards", []))
+    fleet = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())
+    guards.extend(fleet.get("regression_guards", []))
     return guards
 
 

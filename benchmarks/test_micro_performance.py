@@ -151,3 +151,34 @@ def test_micro_rollup(benchmark, frame):
     rollup = benchmark(HourlyRollup.from_frame, frame)
     assert len(rollup) > 100
     assert rollup.reduction_factor(frame) > 10
+
+
+@pytest.fixture(scope="module")
+def fleet_partition_dirs(tmp_path_factory):
+    """Four completed partition captures of a small fleet scenario."""
+    from repro.fleet import plan_partitions, run_partition
+
+    scenario = get_scenario("baseline-geo").with_overrides({
+        "population.n_customers": 96,
+        "workload.days": 2,
+        "workload.n_shards": 4,
+        "execution.compress": False,
+    })
+    root = tmp_path_factory.mktemp("fleet-bench")
+    directories = []
+    for spec in plan_partitions(scenario, partitions=4).partitions:
+        directory = root / spec.name
+        run_partition(scenario, spec, directory)
+        directories.append(directory)
+    return directories
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_fleet_merge(benchmark, fleet_partition_dirs):
+    """The fleet reduce step: 4 partitions through a balanced merge tree.
+    Guards the frame-concat merge staying IO-bound — the windows are
+    re-read and re-folded every round, nothing is cached between runs."""
+    from repro.fleet import merge_partition_captures
+
+    rollup = benchmark(merge_partition_captures, fleet_partition_dirs)
+    assert rollup.state_digest()

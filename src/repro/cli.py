@@ -5,6 +5,8 @@
     python -m repro generate  --scenario congested-beam --set workload.days=3
     python -m repro stream    --customers 600 --days 30 --dir capture/ \
                               [--window-days 1] [--resume]
+    python -m repro fleet     --customers 600 --days 30 --dir fleet/ \
+                              --partitions 8 [--max-parallel 4] [--resume]
     python -m repro scenarios [--names]
     python -m repro stream-report --dir capture/ --which fig2,fig5
     python -m repro report    --dataset capture.npz --which table1,fig2
@@ -16,13 +18,15 @@
 ``generate`` synthesizes a capture; ``stream`` runs the bounded-memory
 windowed capture pipeline (checkpointed, resumable) and
 ``stream-report`` renders figures straight from its rollup sketches
-without loading the flows back; ``report`` regenerates the
+without loading the flows back; ``fleet`` distributes one capture
+across partitioned worker processes and merges their rollups
+bit-identically to a single-process ``stream``; ``report`` regenerates the
 requested tables/figures; ``scorecard`` prints the calibration
 scorecard; ``packet-sim`` runs the Figure 1 packet-level validation;
 ``errant`` fits and compares access-link profiles.
 
-``generate``, ``stream``, ``report`` and ``scorecard`` all take
-``--scenario NAME|file.toml`` plus repeatable ``--set key=value``
+``generate``, ``stream``, ``fleet``, ``report`` and ``scorecard`` all
+take ``--scenario NAME|file.toml`` plus repeatable ``--set key=value``
 dotted-path overrides (see :mod:`repro.scenario`; ``repro scenarios``
 lists the registry). Without ``--scenario`` the built-in
 ``baseline-geo`` is used, which is bit-identical to the pre-scenario
@@ -220,6 +224,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "python)",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a distributed multi-process capture (partitioned, "
+        "healed, merged)",
+        parents=[scenario_parent, workload_parent],
+    )
+    fleet.add_argument("--dir", required=True, help="fleet directory")
+    fleet.add_argument(
+        "--partitions",
+        type=_positive_int,
+        default=None,
+        help="disjoint shard-range partitions (default: scenario fleet "
+        "value; merged digest is identical for any count)",
+    )
+    fleet.add_argument(
+        "--max-parallel",
+        type=_positive_int,
+        default=None,
+        help="worker subprocesses allowed at once (default: scenario "
+        "fleet value, 4)",
+    )
+    fleet.add_argument(
+        "--straggler-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill+heal a worker after this long without checkpoint "
+        "progress (default: scenario fleet value, 120)",
+    )
+    fleet.add_argument(
+        "--merge-tree",
+        choices=("balanced", "left", "right", "random"),
+        default="balanced",
+        help="merge-tree shape (bytes are identical for every shape)",
+    )
+    fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted fleet from its manifest and the "
+        "partitions' checkpoints",
+    )
+    fleet.add_argument(
+        "--window-days",
+        type=_positive_int,
+        default=None,
+        help="simulated days per window (part of the capture key)",
+    )
+    fleet.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="spill raw npz windows (faster, ~3x more disk)",
+    )
+
     scen = sub.add_parser(
         "scenarios", help="list the registered scenarios and their digests"
     )
@@ -412,6 +469,37 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.analysis.source import CaptureError
+    from repro.fleet import render_fleet_telemetry, run_fleet_capture
+
+    scenario = _scenario_from_args(args)
+    try:
+        result = run_fleet_capture(
+            scenario,
+            args.dir,
+            partitions=args.partitions,
+            max_parallel=args.max_parallel,
+            straggler_timeout_s=args.straggler_timeout,
+            merge_tree=args.merge_tree,
+            resume=args.resume,
+            on_event=lambda line: print(line, file=sys.stderr),
+        )
+    except (CaptureError, FileExistsError, FileNotFoundError) as exc:
+        print(f"cannot run fleet capture: {exc}", file=sys.stderr)
+        return 2
+    print(render_fleet_telemetry(result.telemetry_rows))
+    if result.fault_stats.faults or result.fault_stats.retries:
+        print(result.fault_stats.summary())
+    print(
+        f"fleet {result.plan.base_capture_key}: "
+        f"{result.plan.n_partitions} partitions, "
+        f"{result.total_heals} heals, merged digest {result.digest} "
+        f"-> {result.merged_path}"
+    )
+    return 0
+
+
 def _open_capture(path: str):
     """``load_capture`` with CLI error reporting; None means exit 2."""
     from repro.analysis.source import CaptureError, load_capture
@@ -470,7 +558,8 @@ def _cmd_stream_report(args: argparse.Namespace) -> int:
         if checkpoint is not None and not checkpoint.complete:
             print(
                 f"note: capture is partial ({checkpoint.windows_done}/"
-                f"{checkpoint.n_windows} windows); figures cover the folded "
+                f"{checkpoint.n_windows} windows, "
+                f"{checkpoint.progress():.0%}); figures cover the folded "
                 "windows only",
                 file=sys.stderr,
             )
@@ -591,6 +680,7 @@ def _cmd_mixed_sim(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "stream": _cmd_stream,
+    "fleet": _cmd_fleet,
     "scenarios": _cmd_scenarios,
     "stream-report": _cmd_stream_report,
     "report": _cmd_report,

@@ -1,0 +1,75 @@
+"""Distributed multi-process capture: partition, dispatch, heal, merge.
+
+The paper's probe watches an entire subscriber population from one
+vantage; scaling the reproduction toward millions of subscribers
+(ROADMAP north star) splits the capture across a fleet of worker
+processes and reduces their outputs. The package is four small layers:
+
+* :mod:`repro.fleet.plan` — deterministic partitioning of a scenario's
+  shard plan into disjoint contiguous slices;
+* :mod:`repro.fleet.worker` — one partition as an ordinary
+  checkpointed stream capture with a scoped fault domain;
+* :mod:`repro.fleet.coordinator` — the bounded dispatch pool,
+  straggler detection via checkpoint progress, crash healing through
+  the resume path, and the ``fleet.json`` manifest;
+* :mod:`repro.fleet.merge` — the binary merge tree reducing partition
+  captures into one ``merged_rollup.npz``, bit-identical to the
+  single-process stream digest.
+
+See DESIGN.md §13.
+"""
+
+from repro.fleet.coordinator import (
+    FLEET_MANIFEST,
+    FLEET_TELEMETRY,
+    MERGED_ROLLUP,
+    FleetResult,
+    PartitionState,
+    fleet_kill_points,
+    fleet_telemetry_rows,
+    load_fleet_manifest,
+    partition_dir,
+    render_fleet_telemetry,
+    run_fleet_capture,
+)
+from repro.fleet.merge import (
+    MERGE_TREE_SHAPES,
+    MergeNode,
+    merge_partition_captures,
+    plan_merge_tree,
+)
+from repro.fleet.plan import (
+    FleetPlan,
+    PartitionSpec,
+    partition_dir_name,
+    plan_partitions,
+)
+from repro.fleet.worker import (
+    partition_fault_plan,
+    partition_kill_prefix,
+    run_partition,
+)
+
+__all__ = [
+    "FLEET_MANIFEST",
+    "FLEET_TELEMETRY",
+    "MERGED_ROLLUP",
+    "MERGE_TREE_SHAPES",
+    "FleetPlan",
+    "FleetResult",
+    "MergeNode",
+    "PartitionSpec",
+    "PartitionState",
+    "fleet_kill_points",
+    "fleet_telemetry_rows",
+    "load_fleet_manifest",
+    "merge_partition_captures",
+    "partition_dir",
+    "partition_dir_name",
+    "partition_fault_plan",
+    "partition_kill_prefix",
+    "plan_merge_tree",
+    "plan_partitions",
+    "render_fleet_telemetry",
+    "run_fleet_capture",
+]

@@ -1,0 +1,155 @@
+"""Deterministic partition planning for distributed fleet captures.
+
+A *partition* is a contiguous range of the capture's full shard plan
+(:meth:`WorkloadGenerator.shard_plan`), executed as an ordinary
+streaming capture restricted to those shards
+(``run_stream_capture(..., shard_range=...)``). Because every
+:class:`~repro.parallel.ShardSpec` keeps its full-plan ``index`` and
+``n_shards``, a partition samples byte-identical flows to the slice of
+the single-process capture it covers — partitioning is pure execution,
+never content.
+
+The plan is a pure function of the scenario (customer count, shard
+count, scenario digest) and the requested partition count: every
+coordinator, worker, and resumed run derives the same partitions, the
+same capture keys, and the same per-partition fault seeds without
+coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.cache import stream_capture_key
+from repro.parallel import default_shard_count, plan_shards
+from repro.stream.producer import partition_capture_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One worker's slice of the capture.
+
+    ``shard_lo``/``shard_hi`` index the *full* shard plan (half-open);
+    ``customer_lo``/``customer_hi`` are the customer ids those shards
+    cover (contiguous, because shards are). ``capture_key`` is the
+    partition-scoped stream key its capture directory commits under,
+    and ``fault_seed`` gives each partition an independent fault
+    domain: the same chaos plan armed fleet-wide draws different (but
+    reproducible) faults per worker.
+    """
+
+    index: int
+    n_partitions: int
+    shard_lo: int
+    shard_hi: int
+    customer_lo: int
+    customer_hi: int
+    capture_key: str
+    fault_seed: int
+
+    @property
+    def n_shards(self) -> int:
+        return self.shard_hi - self.shard_lo
+
+    @property
+    def shard_range(self) -> Tuple[int, int]:
+        return (self.shard_lo, self.shard_hi)
+
+    @property
+    def name(self) -> str:
+        return partition_dir_name(self.index)
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """The full deterministic partitioning of one scenario's capture."""
+
+    scenario_digest: str
+    base_capture_key: str
+    """Key of the equivalent single-process stream capture."""
+    n_customers: int
+    n_shards: int
+    """Shards in the full plan (partitioning never changes it)."""
+    n_windows: int
+    partitions: Tuple[PartitionSpec, ...]
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+
+def partition_dir_name(index: int) -> str:
+    """Directory name of partition ``index`` under ``partitions/``."""
+    return f"p{index:03d}"
+
+
+def _partition_fault_seed(scenario_digest: str, base_seed: int, index: int) -> int:
+    """A reproducible per-partition fault-domain seed.
+
+    Hash-derived (not ``base_seed + index``) so neighbouring partitions
+    never share correlated fault streams, and tied to the scenario
+    digest so two scenarios with the same fault seed still chaos
+    differently.
+    """
+    blob = f"{scenario_digest}:{base_seed}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+def plan_partitions(
+    scenario: "Scenario", partitions: Optional[int] = None
+) -> FleetPlan:
+    """Split ``scenario``'s capture into disjoint shard-range partitions.
+
+    ``partitions`` overrides ``scenario.fleet.partitions``. The
+    effective count is clamped to the shard count — a shard is the
+    atom of determinism (its RNG stream cannot be split), so asking
+    for more partitions than shards yields one partition per shard.
+    """
+    n_partitions = (
+        partitions if partitions is not None else scenario.fleet.partitions
+    )
+    if n_partitions < 1:
+        raise ValueError(f"partitions must be >= 1 (got {n_partitions})")
+    n_customers = scenario.population.n_customers
+    n_shards = scenario.workload.n_shards or default_shard_count(n_customers)
+    full_plan = plan_shards(n_customers, n_shards)
+    n_shards = len(full_plan)  # plan_shards clamps to n_customers
+    n_partitions = min(n_partitions, n_shards)
+    digest = scenario.digest()
+    base_key = stream_capture_key(scenario, scenario.stream.window_days)
+    n_windows = -(-scenario.workload.days // scenario.stream.window_days)
+    # Reuse the shard splitter to cut shard *indices* into contiguous
+    # groups: same divmod discipline, sizes differ by at most one.
+    groups = plan_shards(n_shards, n_partitions)
+    specs = []
+    for group in groups:
+        shard_lo, shard_hi = group.lo, group.hi
+        specs.append(
+            PartitionSpec(
+                index=group.index,
+                n_partitions=n_partitions,
+                shard_lo=shard_lo,
+                shard_hi=shard_hi,
+                customer_lo=full_plan[shard_lo].lo,
+                customer_hi=full_plan[shard_hi - 1].hi,
+                capture_key=partition_capture_key(
+                    base_key, shard_lo, shard_hi, n_shards
+                ),
+                fault_seed=_partition_fault_seed(
+                    digest, scenario.faults.seed, group.index
+                ),
+            )
+        )
+    return FleetPlan(
+        scenario_digest=digest,
+        base_capture_key=base_key,
+        n_customers=n_customers,
+        n_shards=n_shards,
+        n_windows=n_windows,
+        partitions=tuple(specs),
+    )

@@ -99,7 +99,7 @@ def default_shard_count(n_customers: int) -> int:
     return max(1, min(DEFAULT_MAX_SHARDS, n_customers // TARGET_SHARD_CUSTOMERS))
 
 
-def resolve_workers(n_workers: Union[int, str, None]) -> int:
+def resolve_workers(n_workers: Union[int, str, None], slots: int = 1) -> int:
     """Map the ``n_workers`` knob to a concrete process count.
 
     ``None``, ``0`` or the string ``"auto"`` mean "one per *available*
@@ -108,7 +108,16 @@ def resolve_workers(n_workers: Union[int, str, None]) -> int:
     — in a container or cgroup-restricted CI runner the two differ, and
     sizing the fork pool by the machine total oversubscribes the quota.
     Negative counts and other strings are rejected.
+
+    ``slots`` divides the automatic sizing between sibling processes
+    that share the affinity set: a ``repro.fleet`` worker running
+    alongside ``max_parallel - 1`` peers passes ``slots=max_parallel``
+    and gets ``max(1, cores // slots)`` instead of every sibling
+    claiming all cores. Explicit counts are honoured verbatim — the
+    user pinned them.
     """
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1 (got {slots})")
     if isinstance(n_workers, str):
         if n_workers.strip().lower() == "auto":
             n_workers = 0
@@ -118,9 +127,10 @@ def resolve_workers(n_workers: Union[int, str, None]) -> int:
             )
     if n_workers is None or n_workers == 0:
         try:
-            return len(os.sched_getaffinity(0))
+            affinity = len(os.sched_getaffinity(0))
         except AttributeError:  # pragma: no cover - non-Linux
-            return os.cpu_count() or 1
+            affinity = os.cpu_count() or 1
+        return max(1, affinity // slots)
     if n_workers < 0:
         raise ValueError(f"n_workers must be >= 0 (got {n_workers})")
     return n_workers

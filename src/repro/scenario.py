@@ -19,6 +19,9 @@ unrelated config objects (``WorkloadConfig``, ``StreamConfig``,
 ``workload``   what they do (days, seed, flow scaling, DNS rate)
 ``stream``     windowing of streaming captures (content)
 ``execution``  workers / spill compression (never content)
+``fleet``      distributed capture partitioning — partitions,
+               parallelism, straggler policy (never content; see
+               :mod:`repro.fleet`)
 ``faults``     seeded chaos plan — injected IO errors, worker
                crashes, kill-points (never content; see
                :mod:`repro.faults`)
@@ -390,6 +393,38 @@ class ExecutionSpec:
 
 
 @dataclass(frozen=True)
+class FleetSpec:
+    """Distributed fleet capture (``repro.fleet``) — never content.
+
+    Like ``execution``, the section only decides *how* the capture is
+    produced: the merged fleet rollup is bit-identical to the
+    single-process stream for any partition count, so none of these
+    knobs contribute to the digest.
+    """
+
+    partitions: int = 1
+    """Disjoint shard-range partitions the capture is split into
+    (clamped to the shard count of the plan)."""
+    max_parallel: int = 4
+    """Worker subprocesses allowed to run at once."""
+    straggler_timeout_s: float = 120.0
+    """Seconds without checkpoint progress before the coordinator
+    SIGKILLs a worker and heals it via resume."""
+    max_heals: int = 3
+    """Heal (resume) attempts per partition before the fleet fails."""
+
+    def _validate(self, path: str) -> None:
+        if self.partitions < 1:
+            raise ScenarioError(f"{path}.partitions", "must be >= 1")
+        if self.max_parallel < 1:
+            raise ScenarioError(f"{path}.max_parallel", "must be >= 1")
+        if self.straggler_timeout_s <= 0.0:
+            raise ScenarioError(f"{path}.straggler_timeout_s", "must be > 0")
+        if self.max_heals < 0:
+            raise ScenarioError(f"{path}.max_heals", "must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultsSpec:
     """Deterministic fault injection for chaos runs (``repro.faults``).
 
@@ -452,15 +487,17 @@ _SECTION_TYPES: Dict[str, type] = {
     "workload": WorkloadSpec,
     "stream": StreamSpec,
     "execution": ExecutionSpec,
+    "fleet": FleetSpec,
     "faults": FaultsSpec,
 }
 
 #: Sections that decide which flows a capture contains. ``qos`` shapes
 #: only the micro-sim; ``execution`` only wall-clock; ``stream`` only
 #: windowing (``stream_capture_key`` layers it on separately, exactly
-#: as the legacy path did); ``faults`` only injects failures (retried
-#: or healed, never sampled into the flows); ``name``/``description``
-#: are labels.
+#: as the legacy path did); ``fleet`` only partitions execution (the
+#: merged rollup is bit-identical at any partition count); ``faults``
+#: only injects failures (retried or healed, never sampled into the
+#: flows); ``name``/``description`` are labels.
 _CONTENT_SECTIONS = (
     "geometry",
     "beams",
@@ -582,6 +619,7 @@ class Scenario:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     stream: StreamSpec = field(default_factory=StreamSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
     faults: FaultsSpec = field(default_factory=FaultsSpec)
 
     # -- construction ------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.stream.producer import (
     StreamResult,
     WindowSpec,
     WindowedProducer,
+    partition_capture_key,
     plan_windows,
     run_stream_capture,
     stream_kill_points,
@@ -48,6 +49,7 @@ __all__ = [
     "WindowTelemetry",
     "WindowedProducer",
     "load_checkpoint",
+    "partition_capture_key",
     "peak_rss_mb",
     "plan_windows",
     "render_telemetry",

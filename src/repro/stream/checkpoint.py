@@ -94,6 +94,18 @@ class Checkpoint:
     def complete(self) -> bool:
         return self.windows_done >= self.n_windows
 
+    def progress(self) -> float:
+        """Fraction of windows committed, in ``[0, 1]``.
+
+        The coordinator-facing probe: ``repro.fleet`` polls it (via
+        :func:`load_checkpoint`) to tell a straggling worker from one
+        that is still landing windows, and ``repro stream-report``
+        prints it for partial captures.
+        """
+        if self.n_windows <= 0:
+            return 1.0
+        return min(1.0, self.windows_done / self.n_windows)
+
 
 def checkpoint_path(directory: Union[str, Path]) -> Path:
     return Path(directory) / _CHECKPOINT

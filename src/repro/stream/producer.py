@@ -137,14 +137,39 @@ class StreamConfig:
         return WorkloadGenerator(self.workload)
 
 
+def partition_capture_key(base_key: str, lo: int, hi: int, n_shards: int) -> str:
+    """The capture key of a shard-subset (fleet partition) capture.
+
+    Partition directories are ordinary stream captures restricted to
+    shards ``[lo, hi)`` of the full ``n_shards`` plan; scoping the key
+    keeps resume validation honest (a partition directory can never be
+    resumed as the full capture, or as a different slice of it).
+    """
+    return f"{base_key}:shards{lo}-{hi}of{n_shards}"
+
+
 class WindowedProducer:
-    """Drives one :class:`WorkloadGenerator` window by window."""
+    """Drives one :class:`WorkloadGenerator` window by window.
+
+    ``shards`` restricts generation to a subset of the generator's full
+    shard plan (a ``repro.fleet`` partition). The :class:`ShardSpec`
+    entries keep their full-plan ``index``/``n_shards``, so each
+    (shard, window) cell draws the *same* ``spawn_window_seed`` stream
+    it would in an unrestricted run — which is what makes partitioned
+    captures bit-identical slices of the single-process capture.
+    """
 
     def __init__(
-        self, generator: WorkloadGenerator, window_days: int = 1
+        self,
+        generator: WorkloadGenerator,
+        window_days: int = 1,
+        shards: Optional[List] = None,
     ) -> None:
         self.generator = generator
         self.windows = plan_windows(generator.config.days, window_days)
+        self.shards = (
+            list(shards) if shards is not None else generator.shard_plan()
+        )
 
     def generate_window(
         self,
@@ -161,7 +186,7 @@ class WindowedProducer:
         across windows); without one, a transient per-window pool is
         used. Either way the output is byte-identical.
         """
-        shards = self.generator.shard_plan()
+        shards = self.shards
         if pool is not None:
             shard_frames = pool.generate_window(
                 shards,
@@ -423,8 +448,17 @@ def run_stream_capture(
     max_windows: Optional[int] = None,
     on_window: Optional[Callable[[WindowTelemetry], None]] = None,
     faults: Optional[FaultPlan] = None,
+    shard_range: Optional[Tuple[int, int]] = None,
 ) -> StreamResult:
     """Run (or continue) a streaming capture into ``capture_dir``.
+
+    ``shard_range`` restricts the capture to shards ``[lo, hi)`` of the
+    config's full shard plan — a ``repro.fleet`` partition. The capture
+    key is scoped with :func:`partition_capture_key`, the spilled
+    windows and rollup cover only those shards' customers, and every
+    guarantee (checkpoint/resume bit-identity, kill-points, pipelining)
+    applies unchanged because the restricted shards keep their
+    full-plan RNG streams.
 
     Fresh runs initialize the directory; ``resume=True`` continues from
     the last committed checkpoint (and is a no-op on a complete
@@ -456,8 +490,19 @@ def run_stream_capture(
     injector = resolve_injector(faults if faults is not None else config.faults)
     injector.kill_point("stream:init")
     generator = config.build_generator()
-    producer = WindowedProducer(generator, config.window_days)
     key = config.capture_key()
+    shards = None
+    if shard_range is not None:
+        full_plan = generator.shard_plan()
+        lo, hi = shard_range
+        if not 0 <= lo < hi <= len(full_plan):
+            raise ValueError(
+                f"shard_range [{lo}, {hi}) outside the plan's "
+                f"{len(full_plan)} shards"
+            )
+        shards = full_plan[lo:hi]
+        key = partition_capture_key(key, lo, hi, len(full_plan))
+    producer = WindowedProducer(generator, config.window_days, shards=shards)
     n_windows = len(producer.windows)
     workers = resolve_workers(config.workload.n_workers)
 
@@ -496,7 +541,14 @@ def run_stream_capture(
                 for w in producer.windows
             ],
             capture_key=key,
-            config=dataclasses.asdict(config.workload),
+            config={
+                **dataclasses.asdict(config.workload),
+                **(
+                    {"shard_range": list(shard_range)}
+                    if shard_range is not None
+                    else {}
+                ),
+            },
             compress=config.compress,
             injector=injector,
         )
@@ -522,7 +574,7 @@ def run_stream_capture(
     # exists — so the workers never inherit a lock held mid-commit.
     pool = ShardWorkerPool(
         generator,
-        min(workers, len(generator.shard_plan())),
+        min(workers, len(producer.shards)),
         injector=injector,
     )
     if todo:

@@ -1,0 +1,141 @@
+"""Merge-tree shape invariance: every tree over in-order leaves is exact.
+
+PR 5 proved rollup *state* merges are only ``allclose`` under
+regrouping (float byte sums); the fleet merge therefore concatenates
+window frames (exact, associative) and folds at the root in window
+order. These property tests sweep partition counts 2–9 and every tree
+shape — balanced, maximally skewed left/right, and seed-randomized —
+and assert each merged digest is bit-identical to the single-process
+stream digest of the same scenario.
+"""
+
+import pytest
+
+from repro.fleet import (
+    MERGE_TREE_SHAPES,
+    MergeNode,
+    merge_partition_captures,
+    plan_merge_tree,
+    plan_partitions,
+    run_partition,
+)
+from repro.scenario import get_scenario
+from repro.stream import run_stream_capture
+
+MAX_PARTITIONS = 9
+
+SWEEP_OVERRIDES = {
+    "population.n_customers": 27,
+    "workload.days": 2,
+    "workload.n_shards": MAX_PARTITIONS,
+    "execution.compress": False,
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_scenario():
+    return get_scenario("baseline-geo").with_overrides(SWEEP_OVERRIDES)
+
+
+@pytest.fixture(scope="module")
+def sweep_reference(sweep_scenario, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("sweep-single")
+    result = run_stream_capture(sweep_scenario.stream_config(), directory)
+    return result.rollup.state_digest()
+
+
+@pytest.fixture(scope="module")
+def partition_captures(sweep_scenario, tmp_path_factory):
+    """Completed partition capture dirs for every count in 2..9."""
+    captures = {}
+    for n in range(2, MAX_PARTITIONS + 1):
+        root = tmp_path_factory.mktemp(f"sweep-n{n}")
+        plan = plan_partitions(sweep_scenario, partitions=n)
+        directories = []
+        for spec in plan.partitions:
+            directory = root / spec.name
+            run_partition(sweep_scenario, spec, directory)
+            directories.append(directory)
+        captures[n] = directories
+    return captures
+
+
+# -- tree planning -----------------------------------------------------------
+
+
+def test_merge_node_is_leaf_xor_internal():
+    with pytest.raises(ValueError):
+        MergeNode()  # neither
+    with pytest.raises(ValueError):
+        MergeNode(leaf=0, left=MergeNode(leaf=1), right=MergeNode(leaf=2))
+    with pytest.raises(ValueError):
+        MergeNode(left=MergeNode(leaf=0))  # one child only
+
+
+@pytest.mark.parametrize("shape", MERGE_TREE_SHAPES)
+@pytest.mark.parametrize("n", range(1, MAX_PARTITIONS + 1))
+def test_tree_leaves_are_partitions_in_order(shape, n):
+    tree = plan_merge_tree(n, shape, seed=n)
+    assert tree.leaves() == list(range(n))
+
+
+def test_tree_shapes_differ_but_random_is_seed_stable():
+    assert plan_merge_tree(5, "left").shape() == "((((0+1)+2)+3)+4)"
+    assert plan_merge_tree(5, "right").shape() == "(0+(1+(2+(3+4))))"
+    assert plan_merge_tree(5, "balanced").shape() == "((0+1)+(2+(3+4)))"
+    assert (
+        plan_merge_tree(7, "random", seed=3).shape()
+        == plan_merge_tree(7, "random", seed=3).shape()
+    )
+
+
+def test_plan_merge_tree_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        plan_merge_tree(0)
+    with pytest.raises(ValueError):
+        plan_merge_tree(4, "bushy")
+
+
+# -- the shape-invariance property -------------------------------------------
+
+
+@pytest.mark.parametrize("n", range(2, MAX_PARTITIONS + 1))
+def test_every_shape_reproduces_single_stream_digest(
+    n, partition_captures, sweep_reference
+):
+    directories = partition_captures[n]
+    for shape in ("balanced", "left", "right"):
+        tree = plan_merge_tree(n, shape)
+        rollup = merge_partition_captures(directories, tree=tree)
+        assert rollup.state_digest() == sweep_reference, (
+            f"n={n} shape={shape} ({tree.shape()}) diverged"
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_random_shapes_reproduce_single_stream_digest(
+    n, seed, partition_captures, sweep_reference
+):
+    tree = plan_merge_tree(n, "random", seed=seed)
+    rollup = merge_partition_captures(partition_captures[n], tree=tree)
+    assert rollup.state_digest() == sweep_reference, (
+        f"n={n} random seed={seed} ({tree.shape()}) diverged"
+    )
+
+
+def test_out_of_order_tree_is_rejected(partition_captures):
+    swapped = MergeNode(left=MergeNode(leaf=1), right=MergeNode(leaf=0))
+    with pytest.raises(ValueError, match="in order"):
+        merge_partition_captures(partition_captures[2], tree=swapped)
+
+
+def test_partition_count_does_not_change_bytes(
+    partition_captures, sweep_reference
+):
+    """The full sweep collapsed to one assertion: N is execution, not content."""
+    digests = {
+        n: merge_partition_captures(dirs).state_digest()
+        for n, dirs in partition_captures.items()
+    }
+    assert set(digests.values()) == {sweep_reference}
