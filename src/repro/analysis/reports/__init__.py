@@ -18,6 +18,7 @@ from repro.analysis.reports import (
     fig6_service_popularity,
     fig7_service_volume,
     fig8_satellite_rtt,
+    fig8b_rtt_timeseries,
     fig9_ground_rtt,
     fig10_dns,
     table2_resolver_rtt,
@@ -35,6 +36,7 @@ __all__ = [
     "fig6_service_popularity",
     "fig7_service_volume",
     "fig8_satellite_rtt",
+    "fig8b_rtt_timeseries",
     "fig9_ground_rtt",
     "fig10_dns",
     "table2_resolver_rtt",

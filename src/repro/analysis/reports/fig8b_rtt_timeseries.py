@@ -1,0 +1,133 @@
+"""Figure 8b (extended) — satellite RTT vs local time of day.
+
+The delay-engine companion to Figure 8a: instead of two local-hour
+periods, the full 24-hour axis of per-country median satellite RTT.
+Under the static GEO model the series is flat up to load effects; with
+a :class:`~repro.satcom.delaysource.ConstellationDelaySource` the
+orbital floor and handover spikes make per-hour medians move, which is
+exactly what this report exists to show (and what the constellation CI
+smoke job asserts).
+
+Serves from both sources: the frame path takes medians directly, the
+rollup path reads the ``h8_hour`` bank (one 25 ms-binned histogram per
+(country, local hour) — schema v3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table, local_hour_of
+from repro.analysis.dataset import FlowFrame
+from repro.traffic.profiles import TOP_COUNTRIES
+
+HOURS = tuple(range(24))
+
+
+@dataclass
+class Fig8bTimeseriesResult:
+    """country → 24-vector of per-local-hour median sat RTT (ms).
+
+    Hours with no satellite samples hold ``nan``.
+    """
+
+    medians_ms: Dict[str, np.ndarray]
+    counts: Dict[str, np.ndarray]
+
+    def spread_ms(self, country: str) -> float:
+        """Max − min of the country's hourly medians (the time-variation
+        signal: near zero for GEO, tens of ms for a constellation)."""
+        values = self.medians_ms[country]
+        values = values[np.isfinite(values)]
+        if len(values) == 0:
+            return float("nan")
+        return float(values.max() - values.min())
+
+
+def compute(
+    frame: FlowFrame, countries: Sequence[str] = TOP_COUNTRIES
+) -> Fig8bTimeseriesResult:
+    """Per-local-hour median satellite RTT per country, from a frame."""
+    local_hour = local_hour_of(frame)
+    hour = local_hour.astype(np.int64) % 24
+    has_sat = np.isfinite(frame.sat_rtt_ms)
+    medians: Dict[str, np.ndarray] = {}
+    counts: Dict[str, np.ndarray] = {}
+    for country in countries:
+        mask = frame.country_mask(country) & has_sat
+        med = np.full(24, np.nan)
+        cnt = np.zeros(24, dtype=np.int64)
+        for h in HOURS:
+            sat = frame.sat_rtt_ms[mask & (hour == h)]
+            cnt[h] = len(sat)
+            if len(sat):
+                med[h] = float(np.median(sat.astype(np.float64)))
+        medians[country] = med
+        counts[country] = cnt
+    return Fig8bTimeseriesResult(medians_ms=medians, counts=counts)
+
+
+def from_rollup(
+    rollup, countries: Sequence[str] = TOP_COUNTRIES
+) -> Fig8bTimeseriesResult:
+    """The same series from the ``h8_hour`` sketch of a stream rollup.
+
+    Medians interpolate inside a 25 ms bin, so frame and rollup paths
+    agree to bin resolution (the report-parity suite checks fig8a the
+    same way).
+    """
+    medians: Dict[str, np.ndarray] = {}
+    counts: Dict[str, np.ndarray] = {}
+    for country in countries:
+        base = rollup.country_row(country) * 24
+        med = np.full(24, np.nan)
+        cnt = np.zeros(24, dtype=np.int64)
+        for h in HOURS:
+            row = base + h
+            total = rollup.h8_hour.total(row)
+            cnt[h] = int(total)
+            if total > 0:
+                med[h] = rollup.h8_hour.quantile(row, 0.5)
+        medians[country] = med
+        counts[country] = cnt
+    return Fig8bTimeseriesResult(medians_ms=medians, counts=counts)
+
+
+def render(result: Fig8bTimeseriesResult) -> str:
+    countries = list(result.medians_ms)
+    rows = []
+    for h in HOURS:
+        rows.append(
+            (f"{h:02d}:00",)
+            + tuple(
+                f"{result.medians_ms[c][h]:.0f}"
+                if np.isfinite(result.medians_ms[c][h])
+                else "-"
+                for c in countries
+            )
+        )
+    rows.append(
+        ("spread",)
+        + tuple(f"{result.spread_ms(c):.0f}" for c in countries)
+    )
+    return format_table(
+        ["Local hour"] + [f"{c} ms" for c in countries],
+        rows,
+        title="Figure 8b: median satellite RTT vs local time of day",
+    )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig8b",
+    title="Satellite RTT vs time of day",
+    module=__name__,
+    columns=("country_idx", "hour_utc", "sat_rtt_ms"),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+)

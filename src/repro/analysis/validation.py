@@ -164,3 +164,56 @@ def build_scorecard(frame: FlowFrame) -> Scorecard:
     )
 
     return Scorecard(checks=checks)
+
+
+def render_delay_comparison(
+    frame_a: FlowFrame,
+    frame_b: FlowFrame,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Side-by-side satellite-delay profile of two captures.
+
+    The GEO-vs-LEO view of the delay refactor: run the same workload
+    under two scenarios (``repro scorecard --compare leo-starlink``)
+    and diff the satellite-RTT floor, the night/peak medians, and the
+    fig8b time-of-day spread — the numbers the constellation engine is
+    supposed to move while everything else stays put.
+    """
+    from repro.analysis.reports import fig8b_rtt_timeseries
+
+    a8 = fig8_satellite_rtt.compute_fig8a(frame_a)
+    b8 = fig8_satellite_rtt.compute_fig8a(frame_b)
+    a8b = fig8b_rtt_timeseries.compute(frame_a)
+    b8b = fig8b_rtt_timeseries.compute(frame_b)
+
+    def floor(result) -> float:
+        return min(result.minimum_ms(c) for c in result.samples)
+
+    def median(result, country: str, period: str) -> float:
+        return float(result.quartiles_ms(country, period)[1])
+
+    def max_spread(result) -> float:
+        return max(result.spread_ms(c) for c in result.medians_ms)
+
+    metrics = [
+        ("Satellite RTT floor (ms)", floor(a8), floor(b8)),
+        ("Spain night median (ms)", median(a8, "Spain", "night"), median(b8, "Spain", "night")),
+        ("Spain peak median (ms)", median(a8, "Spain", "peak"), median(b8, "Spain", "peak")),
+        ("Congo peak median (ms)", median(a8, "Congo", "peak"), median(b8, "Congo", "peak")),
+        (
+            "Spain night <1 s (%)",
+            a8.fraction_under("Spain", "night", 1000.0) * 100,
+            b8.fraction_under("Spain", "night", 1000.0) * 100,
+        ),
+        ("Max time-of-day spread (ms)", max_spread(a8b), max_spread(b8b)),
+    ]
+    rows = [
+        (name, f"{va:.0f}", f"{vb:.0f}", f"{vb - va:+.0f}")
+        for name, va, vb in metrics
+    ]
+    return format_table(
+        ["Metric", label_a, label_b, "Δ"],
+        rows,
+        title=f"Satellite delay comparison: {label_a} vs {label_b}",
+    )

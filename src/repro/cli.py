@@ -7,11 +7,12 @@
                               [--window-days 1] [--resume]
     python -m repro fleet     --customers 600 --days 30 --dir fleet/ \
                               --partitions 8 [--max-parallel 4] [--resume]
-    python -m repro scenarios [--names]
+    python -m repro scenarios [--names | --json]
     python -m repro stream-report --dir capture/ --which fig2,fig5
     python -m repro report    --dataset capture.npz --which table1,fig2
     python -m repro report    --scenario leo --which fig8
     python -m repro scorecard --dataset capture.npz
+    python -m repro scorecard --compare leo-starlink
     python -m repro packet-sim
     python -m repro errant    --dataset capture.npz --country Spain --netem
 
@@ -285,6 +286,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print bare names only (for scripting)",
     )
+    scen.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (name, digest, description, "
+        "delay mode) for scripting",
+    )
 
     from repro.analysis import registry
 
@@ -336,6 +343,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="frame .npz or stream capture directory (auto-detected); "
         "omitted: generate the scenario's capture through the cache",
     )
+    score.add_argument(
+        "--compare",
+        default=None,
+        metavar="NAME|PATH",
+        help="second scenario to run the same workload under (same "
+        "--set/flag overrides) and diff the satellite-delay profile "
+        "against, e.g. --compare leo-starlink for GEO vs LEO",
+    )
 
     psim = sub.add_parser("packet-sim", help="packet-level methodology validation")
     psim.add_argument(
@@ -365,16 +380,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _scenario_from_args(args: argparse.Namespace) -> "Scenario":
+def _scenario_from_args(
+    args: argparse.Namespace, scenario_name: Optional[str] = None
+) -> "Scenario":
     """Resolve ``--scenario``, apply ``--set``, then explicit flags.
 
     Precedence: scenario file < ``--set`` < explicit flags. Raises
     :class:`~repro.scenario.ScenarioError` (mapped to exit 2 by
     :func:`main`) on unknown names, paths, or invalid values.
+    ``scenario_name`` substitutes the base scenario while keeping the
+    command line's overrides (``scorecard --compare`` runs the same
+    workload under a second scenario this way).
     """
     from repro.scenario import ScenarioError, resolve_scenario
 
-    scenario = resolve_scenario(args.scenario or "baseline-geo")
+    scenario = resolve_scenario(scenario_name or args.scenario or "baseline-geo")
     overrides = {}
     for item in args.overrides:
         key, sep, value = item.partition("=")
@@ -424,11 +444,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
     from repro.scenario import get_scenario, scenario_names
 
     if args.names:
         for name in scenario_names():
             print(name)
+        return 0
+    if args.json:
+        payload = [
+            {
+                "name": name,
+                "digest": (scenario := get_scenario(name)).digest(),
+                "description": scenario.description,
+                "delay": scenario.constellation.mode,
+            }
+            for name in scenario_names()
+        ]
+        print(json.dumps(payload, indent=2))
         return 0
     width = max(len(name) for name in scenario_names())
     for name in scenario_names():
@@ -603,6 +637,24 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
         return 2
     scorecard = build_scorecard(frame)
     print(scorecard.render())
+    if args.compare is not None:
+        from repro.analysis.validation import render_delay_comparison
+        from repro.pipeline import generate_flow_dataset
+
+        base = _scenario_from_args(args)
+        other = _scenario_from_args(args, scenario_name=args.compare)
+        print(
+            f"generating comparison scenario {other.name} "
+            f"(digest {other.digest()}) through the cache",
+            file=sys.stderr,
+        )
+        other_frame, _ = generate_flow_dataset(scenario=other, cache=True)
+        print()
+        print(
+            render_delay_comparison(
+                frame, other_frame, label_a=base.name, label_b=other.name
+            )
+        )
     return 0 if scorecard.passed == scorecard.total else 1
 
 

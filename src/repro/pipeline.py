@@ -100,7 +100,7 @@ def run_packet_simulation(
     network = SatComPacketNetwork(
         sim,
         internet,
-        rtt_model=scenario.build_rtt_model() if scenario is not None else None,
+        delay_source=scenario.build_delay_source() if scenario is not None else None,
         meter=meter,
         rng=rng,
         hour_utc=config.hour_utc,

@@ -26,6 +26,42 @@ from repro.constants import (
 from repro.internet.geo import GROUND_STATION, SATELLITE_LONGITUDE_DEG, Location
 
 
+def slant_range_from_central_angle_m(
+    orbit_radius_m: float, central_angle_rad: float
+) -> float:
+    """Slant range to a satellite at ``central_angle_rad`` from the site.
+
+    Law of cosines on the triangle Earth-centre / location / satellite.
+    Shared by the GEO geometry and any circular-orbit shell — the
+    single home of this expression (see also
+    :func:`slant_range_from_elevation_m` for the elevation-parameterized
+    form used by LEO shells).
+    """
+    return math.sqrt(
+        EARTH_RADIUS_M**2
+        + orbit_radius_m**2
+        - 2 * EARTH_RADIUS_M * orbit_radius_m * math.cos(central_angle_rad)
+    )
+
+
+def slant_range_from_elevation_m(
+    orbit_radius_m: float, elevation_deg: float
+) -> float:
+    """Slant range to a satellite seen at ``elevation_deg``.
+
+    Law of sines on the Earth-centre triangle; valid for any circular
+    orbit of radius ``orbit_radius_m``. Raises :class:`ValueError`
+    outside ``[0, 90]`` degrees.
+    """
+    if not 0.0 <= elevation_deg <= 90.0:
+        raise ValueError("elevation must be in [0, 90]")
+    elevation = math.radians(elevation_deg)
+    r, R = orbit_radius_m, EARTH_RADIUS_M
+    return -R * math.sin(elevation) + math.sqrt(
+        r**2 - (R * math.cos(elevation)) ** 2
+    )
+
+
 @dataclass(frozen=True)
 class SatelliteGeometry:
     """Geometry of one GEO satellite relative to Earth locations."""
@@ -46,11 +82,7 @@ class SatelliteGeometry:
         satellite.
         """
         gamma = self.central_angle_rad(location)
-        return math.sqrt(
-            EARTH_RADIUS_M**2
-            + GEO_ORBIT_RADIUS_M**2
-            - 2 * EARTH_RADIUS_M * GEO_ORBIT_RADIUS_M * math.cos(gamma)
-        )
+        return slant_range_from_central_angle_m(GEO_ORBIT_RADIUS_M, gamma)
 
     def elevation_angle_deg(self, location: Location) -> float:
         """Elevation of the satellite above the local horizon.

@@ -10,12 +10,12 @@ is two orders of magnitude below GEO — the whole reason the paper's
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.constants import EARTH_RADIUS_M, SPEED_OF_LIGHT_M_S
+from repro.satcom.geometry import slant_range_from_elevation_m
 
 
 @dataclass(frozen=True)
@@ -34,14 +34,7 @@ class LeoShell:
 
     def slant_range_m(self, elevation_deg: float) -> float:
         """Distance to a satellite seen at ``elevation_deg``."""
-        if not 0.0 <= elevation_deg <= 90.0:
-            raise ValueError("elevation must be in [0, 90]")
-        elevation = math.radians(elevation_deg)
-        r, R = self.orbit_radius_m, EARTH_RADIUS_M
-        # law of sines on the Earth-centre triangle
-        return -R * math.sin(elevation) + math.sqrt(
-            r**2 - (R * math.cos(elevation)) ** 2
-        )
+        return slant_range_from_elevation_m(self.orbit_radius_m, elevation_deg)
 
     def min_rtt_s(self) -> float:
         """Best case: satellite at zenith, gateway co-located (4 hops)."""

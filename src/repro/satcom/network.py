@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.satcom.pep import TunnelMessage, TunnelMessageType
 from repro.satcom.plans import PLANS, Plan
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.satcom.delaysource import DelaySource
 
 _MSS = 1400  # tunnel payload chunk
 _BASE_CUSTOMER_NET = "100.64.0.0"  # operator per-country pools: 100.64+idx
@@ -416,15 +419,24 @@ class SatComPacketNetwork:
         meter: Optional[FlowMeter] = None,
         rng: Optional[np.random.Generator] = None,
         hour_utc: float = 20.0,
+        delay_source: Optional["DelaySource"] = None,
     ) -> None:
         self.sim = sim
         self.internet = internet
-        if rtt_model is None:
-            # the baseline scenario owns the default model tree
-            from repro.scenario import get_scenario
+        if delay_source is not None and rtt_model is not None:
+            raise ValueError("pass delay_source or rtt_model, not both")
+        if delay_source is None:
+            if rtt_model is not None:
+                from repro.satcom.delaysource import StaticDelaySource
 
-            rtt_model = get_scenario("baseline-geo").build_rtt_model()
-        self.rtt_model = rtt_model
+                delay_source = StaticDelaySource(rtt_model=rtt_model)
+            else:
+                # the baseline scenario owns the default model tree
+                from repro.scenario import get_scenario
+
+                delay_source = get_scenario("baseline-geo").build_delay_source()
+        self.delay_source = delay_source
+        self.rtt_model = delay_source.rtt_model
         self.geometry = self.rtt_model.geometry
         self.meter = meter
         self.rng = rng or np.random.default_rng(0)
@@ -505,7 +517,10 @@ class SatComPacketNetwork:
             arq = float(
                 self.rtt_model.channel.sample_arq_delay_s(elevation, self.rng, 1, 1)[0]
             )
-            return scheduling + arq
+            # Zero for static sources (draw-free), the moving one-way
+            # share of the constellation floor otherwise.
+            orbital = self.delay_source.propagation_extra_s(country, self.sim.now)
+            return scheduling + arq + orbital
 
         return sample
 
@@ -522,7 +537,8 @@ class SatComPacketNetwork:
             arq = float(
                 self.rtt_model.channel.sample_arq_delay_s(elevation, self.rng, 1, 1)[0]
             )
-            return queue + arq
+            orbital = self.delay_source.propagation_extra_s(country, self.sim.now)
+            return queue + arq + orbital
 
         return sample
 

@@ -10,12 +10,15 @@ Used by the QoS ablation benchmark and the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.satcom.qos import PriorityShapingScheduler, TrafficClass
 from repro.simnet.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.satcom.delaysource import DelaySource
 
 
 @dataclass
@@ -51,10 +54,21 @@ class QosScenarioResult:
 
 
 def run_qos_scenario(
-    config: Optional[QosScenarioConfig] = None, use_scheduler: bool = True
+    config: Optional[QosScenarioConfig] = None,
+    use_scheduler: bool = True,
+    delay_source: Optional["DelaySource"] = None,
+    country: str = "Spain",
 ) -> QosScenarioResult:
     """Run the scenario; with ``use_scheduler=False`` the link is a
-    single FIFO (every class suffers the bulk/video queue)."""
+    single FIFO (every class suffers the bulk/video queue).
+
+    ``delay_source`` optionally adds the satellite-segment floor RTT
+    (at each packet's delivery instant, so constellation sources make
+    the floor move mid-run) on top of the queueing latency — the
+    end-to-end view of the same experiment. ``None`` keeps the
+    historical queueing-only measurement. The addition is draw-free, so
+    the arrival/drain event sequence is identical either way.
+    """
     if config is None:
         # the baseline scenario owns the default QoS knobs
         from repro.scenario import get_scenario
@@ -79,7 +93,10 @@ def run_qos_scenario(
         t_in = sim.now
 
         def deliver(_payload) -> None:
-            latencies[cls].append(sim.now - t_in)
+            latency = sim.now - t_in
+            if delay_source is not None:
+                latency += delay_source.floor_rtt_s(country, sim.now)
+            latencies[cls].append(latency)
             delivered[cls] += 1
 
         if use_scheduler:

@@ -9,6 +9,9 @@ unrelated config objects (``WorkloadConfig``, ``StreamConfig``,
 :class:`Scenario` tree:
 
 ``geometry``   orbital regime (GEO slot or a LEO shell)
+``constellation`` time-varying delay engine — orbital shells, the
+               ~15 s reconfiguration epoch and the handover spike
+               (content only when switched out of ``static`` mode)
 ``beams``      load scaling and beam outages on the default beam plan
 ``mac``        TDMA/Aloha framing and the stack-processing delays
 ``channel``    FEC residual error / ARQ recovery knobs
@@ -43,8 +46,9 @@ and does not shape the capture. ``execution`` never contributes either.
 
 Named scenarios live in a registry (:func:`get_scenario`,
 :func:`scenario_names`): ``baseline-geo`` (bit-identical to the
-pre-scenario defaults), ``congested-beam``, ``beam-outage``, ``leo``
-and ``heavy-growth``.
+pre-scenario defaults), ``congested-beam``, ``beam-outage``, ``leo``,
+``heavy-growth``, ``leo-starlink`` (orbital motion + handovers) and
+``multi-orbit`` (two shells).
 """
 
 from __future__ import annotations
@@ -71,6 +75,7 @@ from repro.constants import ALOHA_SLOT_S, TDMA_FRAME_S
 from repro.internet.geo import COUNTRIES, SATELLITE_LONGITUDE_DEG
 from repro.satcom.beams import Beam, BeamMap, build_default_beam_map
 from repro.satcom.channel import ChannelModel
+from repro.satcom.constellation import ConstellationModel
 from repro.satcom.geometry import SatelliteGeometry
 from repro.satcom.leo import LeoGeometryAdapter, LeoShell
 from repro.satcom.mac import SlottedAlohaModel, TdmaModel
@@ -124,6 +129,72 @@ class GeometrySpec:
                 f"{path}.leo_typical_elevation_deg",
                 "must be in [leo_min_elevation_deg, 90]",
             )
+
+
+@dataclass(frozen=True)
+class ConstellationSpec:
+    """The time-varying constellation delay engine (DESIGN §14).
+
+    ``mode="static"`` (the default) keeps the pre-refactor behavior —
+    the capture's RTT distribution is fixed for the whole run and the
+    section contributes nothing to the digest, so every existing
+    scenario keeps its cache identity. ``mode="orbital"`` activates a
+    :class:`~repro.satcom.constellation.ConstellationModel` built from
+    these shells: the RTT floor then moves per ~15 s scheduling epoch
+    and flows starting inside the post-handover window pay the spike.
+    """
+
+    mode: str = "static"
+    altitudes_km: Tuple[float, ...] = (550.0,)
+    satellites_per_shell: Tuple[int, ...] = (1584,)
+    min_elevation_deg: float = 25.0
+    bent_pipe: bool = True
+    reconfiguration_s: float = 15.0
+    handover_window_s: float = 1.0
+    handover_penalty_ms: float = 8.0
+
+    def _validate(self, path: str) -> None:
+        if self.mode not in ("static", "orbital"):
+            raise ScenarioError(f"{path}.mode", "must be 'static' or 'orbital'")
+        if not self.altitudes_km:
+            raise ScenarioError(f"{path}.altitudes_km", "must not be empty")
+        for altitude in self.altitudes_km:
+            if not 200.0 <= altitude <= 2000.0:
+                raise ScenarioError(
+                    f"{path}.altitudes_km", "every shell must be in [200, 2000]"
+                )
+        if len(self.satellites_per_shell) != len(self.altitudes_km):
+            raise ScenarioError(
+                f"{path}.satellites_per_shell",
+                "must have one entry per shell in altitudes_km",
+            )
+        for count in self.satellites_per_shell:
+            if count < 1:
+                raise ScenarioError(
+                    f"{path}.satellites_per_shell", "every shell needs >= 1 satellite"
+                )
+        if not 5.0 <= self.min_elevation_deg < 90.0:
+            raise ScenarioError(f"{path}.min_elevation_deg", "must be in [5, 90)")
+        if self.reconfiguration_s <= 0.0:
+            raise ScenarioError(f"{path}.reconfiguration_s", "must be > 0")
+        if not 0.0 <= self.handover_window_s <= self.reconfiguration_s:
+            raise ScenarioError(
+                f"{path}.handover_window_s", "must be in [0, reconfiguration_s]"
+            )
+        if self.handover_penalty_ms < 0.0:
+            raise ScenarioError(f"{path}.handover_penalty_ms", "must be >= 0")
+
+
+#: Default-section payload; the digest only carries ``constellation``
+#: when a scenario moves off this, so pre-refactor digests are stable.
+_BASELINE_CONSTELLATION_PAYLOAD: Dict[str, Any] = {
+    f.name: (
+        list(getattr(ConstellationSpec(), f.name))
+        if isinstance(getattr(ConstellationSpec(), f.name), tuple)
+        else getattr(ConstellationSpec(), f.name)
+    )
+    for f in fields(ConstellationSpec)
+}
 
 
 @dataclass(frozen=True)
@@ -477,6 +548,7 @@ class FaultsSpec:
 
 _SECTION_TYPES: Dict[str, type] = {
     "geometry": GeometrySpec,
+    "constellation": ConstellationSpec,
     "beams": BeamsSpec,
     "mac": MacSpec,
     "channel": ChannelSpec,
@@ -497,7 +569,10 @@ _SECTION_TYPES: Dict[str, type] = {
 #: as the legacy path did); ``fleet`` only partitions execution (the
 #: merged rollup is bit-identical at any partition count); ``faults``
 #: only injects failures (retried or healed, never sampled into the
-#: flows); ``name``/``description`` are labels.
+#: flows); ``name``/``description`` are labels. ``constellation`` joins
+#: conditionally: :meth:`Scenario.content_payload` appends it only when
+#: it leaves the all-defaults payload, keeping every pre-refactor
+#: digest byte-stable while giving orbital scenarios their own identity.
 _CONTENT_SECTIONS = (
     "geometry",
     "beams",
@@ -609,6 +684,7 @@ class Scenario:
     name: str = "custom"
     description: str = ""
     geometry: GeometrySpec = field(default_factory=GeometrySpec)
+    constellation: ConstellationSpec = field(default_factory=ConstellationSpec)
     beams: BeamsSpec = field(default_factory=BeamsSpec)
     mac: MacSpec = field(default_factory=MacSpec)
     channel: ChannelSpec = field(default_factory=ChannelSpec)
@@ -698,17 +774,30 @@ class Scenario:
     # -- identity ----------------------------------------------------------
 
     def content_payload(self) -> Dict[str, Any]:
-        """The capture-defining payload (sections in `_CONTENT_SECTIONS`)."""
-        return {
+        """The capture-defining payload (sections in `_CONTENT_SECTIONS`).
+
+        ``constellation`` is appended only when it deviates from the
+        all-defaults payload: a default (static) section must not
+        perturb the digest of any pre-refactor scenario.
+        """
+        payload = {
             section: _section_payload(getattr(self, section))
             for section in _CONTENT_SECTIONS
         }
+        constellation = _section_payload(self.constellation)
+        if constellation != _BASELINE_CONSTELLATION_PAYLOAD:
+            payload["constellation"] = constellation
+        return payload
 
     def models_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             section: _section_payload(getattr(self, section))
             for section in _MODEL_SECTIONS
         }
+        constellation = _section_payload(self.constellation)
+        if constellation != _BASELINE_CONSTELLATION_PAYLOAD:
+            payload["constellation"] = constellation
+        return payload
 
     def is_baseline_models(self) -> bool:
         """True when every model section sits at the baseline defaults."""
@@ -846,13 +935,52 @@ class Scenario:
             contention_fraction=mac.contention_fraction,
         )
 
+    def build_constellation(self) -> ConstellationModel:
+        """The ``constellation`` section as a :class:`ConstellationModel`."""
+        spec = self.constellation
+        shells = tuple(
+            LeoShell(
+                altitude_m=altitude_km * 1000.0,
+                min_elevation_deg=spec.min_elevation_deg,
+                bent_pipe=spec.bent_pipe,
+            )
+            for altitude_km in spec.altitudes_km
+        )
+        return ConstellationModel(
+            shells=shells,
+            satellites_per_shell=tuple(spec.satellites_per_shell),
+            reconfiguration_s=spec.reconfiguration_s,
+            handover_window_s=spec.handover_window_s,
+        )
+
+    def build_delay_source(self):
+        """The scenario's :class:`~repro.satcom.delaysource.DelaySource`.
+
+        ``static`` mode wraps :meth:`build_rtt_model` verbatim
+        (byte-identical sampling); ``orbital`` mode layers the
+        constellation's deterministic time-varying floor on top.
+        """
+        from repro.satcom.delaysource import (
+            ConstellationDelaySource,
+            StaticDelaySource,
+        )
+
+        model = self.build_rtt_model()
+        if self.constellation.mode == "orbital":
+            return ConstellationDelaySource(
+                rtt_model=model,
+                constellation=self.build_constellation(),
+                handover_penalty_s=self.constellation.handover_penalty_ms / 1000.0,
+            )
+        return StaticDelaySource(rtt_model=model)
+
     def build_generator(self):
         """A fully-constructed :class:`WorkloadGenerator` for this scenario."""
         from repro.traffic.workload import WorkloadGenerator
 
         return WorkloadGenerator(
             config=self.workload_config(),
-            rtt_model=self.build_rtt_model(),
+            delay_source=self.build_delay_source(),
             plan_mix=self.plans.mix_by_continent(),
         )
 
@@ -1004,21 +1132,25 @@ _register(
     **{"beams.outages": ("spain-1", "spain-2", "uk-1")},
 )
 
+#: LEO-scale MAC/channel/PEP constants shared by every LEO preset (the
+#: ``leo`` values from PR 4, unchanged so its digest stays put).
+_LEO_STACK_OVERRIDES: Dict[str, Any] = {
+    "geometry.orbit": "leo",
+    "mac.tdma_frame_s": 0.002,
+    "mac.aloha_slot_s": 0.0005,
+    "mac.reservation_rtt_s": 0.008,
+    "mac.base_processing_s": 0.004,
+    "mac.terminal_median_s": 0.010,
+    "mac.stack_jitter_median_s": 0.006,
+    "channel.arq_rtt_s": 0.012,
+    "pep.setup_scale_s": 0.012,
+}
+
 _register(
     _BASELINE,
     "leo",
     "A 550 km LEO shell with tight MAC framing (the Starlink counterpoint)",
-    **{
-        "geometry.orbit": "leo",
-        "mac.tdma_frame_s": 0.002,
-        "mac.aloha_slot_s": 0.0005,
-        "mac.reservation_rtt_s": 0.008,
-        "mac.base_processing_s": 0.004,
-        "mac.terminal_median_s": 0.010,
-        "mac.stack_jitter_median_s": 0.006,
-        "channel.arq_rtt_s": 0.012,
-        "pep.setup_scale_s": 0.012,
-    },
+    **_LEO_STACK_OVERRIDES,
 )
 
 _register(
@@ -1033,6 +1165,30 @@ _register(
         "beams.pep_scale": 1.15,
         "plans.europe_mix.sat-100": 0.45,
         "plans.africa_mix.sat-30": 0.45,
+    },
+)
+
+_register(
+    _BASELINE,
+    "leo-starlink",
+    "The 550 km shell in orbital mode: per-epoch satellite selection, "
+    "15 s reconfiguration handovers, latitude-dependent elevation",
+    **{
+        **_LEO_STACK_OVERRIDES,
+        "constellation.mode": "orbital",
+    },
+)
+
+_register(
+    _BASELINE,
+    "multi-orbit",
+    "Two orbital shells (550 km + 1150 km) serving epochs weighted by "
+    "satellite count",
+    **{
+        **_LEO_STACK_OVERRIDES,
+        "constellation.mode": "orbital",
+        "constellation.altitudes_km": (550.0, 1150.0),
+        "constellation.satellites_per_shell": (1584, 720),
     },
 )
 

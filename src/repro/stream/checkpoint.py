@@ -63,6 +63,10 @@ class WindowTelemetry:
     """Time writing the window's npz spill (split out of the fold so
     stage overlap is observable; defaults to zero so pre-split
     checkpoints keep loading)."""
+    handovers: int = 0
+    """Satellite handovers the window's time span crossed (always zero
+    for static delay sources; defaults so pre-constellation
+    checkpoints keep loading)."""
 
     @property
     def flows_per_s(self) -> float:

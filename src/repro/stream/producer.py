@@ -46,6 +46,7 @@ import numpy as np
 from repro.analysis.dataset import FlowFrame
 from repro.analysis.source import CaptureError
 from repro.cache import stream_capture_key
+from repro.constants import SECONDS_PER_DAY
 from repro.faults import FaultInjector, FaultPlan, FaultStats, resolve_injector
 from repro.kernels import resolve_engine
 from repro.parallel import ShardWorkerPool, generate_window_shards, resolve_workers
@@ -62,6 +63,7 @@ from repro.stream.telemetry import peak_rss_mb
 from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.satcom.delaysource import DelaySource
     from repro.scenario import Scenario
 
 
@@ -329,6 +331,7 @@ class _WindowCommitter:
         checkpoint: Checkpoint,
         injector: FaultInjector,
         on_window: Optional[Callable[[WindowTelemetry], None]],
+        delay_source: Optional["DelaySource"] = None,
     ) -> None:
         self.capture_dir = capture_dir
         self.store = store
@@ -336,6 +339,7 @@ class _WindowCommitter:
         self.checkpoint = checkpoint
         self.injector = injector
         self.on_window = on_window
+        self.delay_source = delay_source
         # Each window row attributes every fault since the previous
         # commit: directory-setup and resume-recovery faults land on the
         # first row, a checkpoint-write fault on the next row. Under
@@ -358,6 +362,15 @@ class _WindowCommitter:
         t3 = time.perf_counter()
         window_stats = injector.stats.delta(self._before)
         self._before = injector.stats.copy()
+        # A pure function of the window's day span (and the scenario's
+        # constellation), never of mutable source state — so the count
+        # is identical across pipeline depths, workers and resumes.
+        handovers = 0
+        if self.delay_source is not None:
+            handovers = self.delay_source.handovers_between(
+                window.day_lo * SECONDS_PER_DAY,
+                window.day_hi * SECONDS_PER_DAY,
+            )
         telemetry = WindowTelemetry(
             window=window.index,
             day_lo=window.day_lo,
@@ -370,6 +383,7 @@ class _WindowCommitter:
             peak_rss_mb=peak_rss_mb(),
             faults=window_stats.faults,
             io_retries=window_stats.retries,
+            handovers=handovers,
         )
         self.checkpoint.windows_done = window.index + 1
         self.checkpoint.rollup_digest = self.rollup.state_digest()
@@ -568,7 +582,13 @@ def run_stream_capture(
     if max_windows is not None:
         todo = todo[: max(0, max_windows)]
     committer = _WindowCommitter(
-        capture_dir, store, rollup, checkpoint, injector, on_window
+        capture_dir,
+        store,
+        rollup,
+        checkpoint,
+        injector,
+        on_window,
+        delay_source=generator.delay_source,
     )
     # The persistent pool forks eagerly here — before the commit thread
     # exists — so the workers never inherit a lock held mid-commit.

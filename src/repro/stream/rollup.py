@@ -18,6 +18,8 @@ need:
 * classifier service-popularity counters            → Figure 6
 * per-(category, country) customer-day volume hists → Figure 7
 * night/peak satellite-RTT histograms per country   → Figure 8a
+* per-(country, local-hour) satellite-RTT histograms → Figure 8b
+  (the RTT-vs-time-of-day axis the constellation engine needs)
 * ground-RTT histograms (count & volume weighted)   → Figure 9
 * (country, resolver) DNS counters + response hists → Figure 10
 * per-country bulk-flow throughput histograms       → Figure 11
@@ -58,7 +60,8 @@ from repro.traffic.services import ServiceCategory
 
 #: Bump when the sketch layout changes; saved states refuse to load
 #: across schema versions instead of mis-merging.
-ROLLUP_SCHEMA = 2
+#: v3 added the per-(country, local-hour) satellite-RTT bank (h8_hour).
+ROLLUP_SCHEMA = 3
 
 #: Figure 7 category axis (must match fig7_service_volume.CATEGORIES).
 FIG7_CATEGORIES = (
@@ -258,6 +261,10 @@ class StreamRollup:
         self.h8_night = HistFamily(self.SAT_EDGES, nc)
         self.h8_peak = HistFamily(self.SAT_EDGES, nc)
         self.sat_min_c = np.full(nc, np.inf, dtype=np.float64)
+        # Figure 8b: satellite RTT vs local time of day,
+        # row = country * 24 + local_hour. Flat for GEO; the
+        # constellation engine makes the per-hour medians move.
+        self.h8_hour = HistFamily(self.SAT_EDGES, nc * 24)
         # Figure 9
         self.h9_cnt = HistFamily(self.GROUND_EDGES, nc)
         self.h9_vol = HistFamily(self.GROUND_EDGES, nc)
@@ -303,6 +310,7 @@ class StreamRollup:
             _HistSpec("h7_volume", self.CAT_BYTE_EDGES),
             _HistSpec("h8_night", self.SAT_EDGES),
             _HistSpec("h8_peak", self.SAT_EDGES),
+            _HistSpec("h8_hour", self.SAT_EDGES),
             _HistSpec("h9_cnt", self.GROUND_EDGES),
             _HistSpec("h9_vol", self.GROUND_EDGES),
             _HistSpec("h10_resp", self.DNS_EDGES),
@@ -403,6 +411,8 @@ class StreamRollup:
         peak = (local_hour >= PEAK_HOURS[0]) & (local_hour < PEAK_HOURS[1]) & has_sat
         self.h8_night.update(c[night], frame.sat_rtt_ms[night])
         self.h8_peak.update(c[peak], frame.sat_rtt_ms[peak])
+        hour_rows = c[has_sat] * 24 + local_hour[has_sat].astype(np.int64) % 24
+        self.h8_hour.update(hour_rows, frame.sat_rtt_ms[has_sat])
         nc = len(self.countries)
         either = night | peak
         if either.any():

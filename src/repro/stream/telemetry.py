@@ -53,6 +53,7 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
                 f"{t.peak_rss_mb:.0f}",
                 f"{t.faults}",
                 f"{t.io_retries}",
+                f"{t.handovers}",
             )
         )
     total_flows = sum(t.flows for t in rows)
@@ -71,6 +72,7 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
             f"{max((t.peak_rss_mb for t in rows), default=float('nan')):.0f}",
             f"{sum(t.faults for t in rows)}",
             f"{sum(t.io_retries for t in rows)}",
+            f"{sum(t.handovers for t in rows)}",
         )
     )
     return format_table(
@@ -87,6 +89,7 @@ def render_telemetry(rows: Sequence[WindowTelemetry]) -> str:
             "Peak RSS MB",
             "Faults",
             "Retries",
+            "Handovers",
         ],
         table_rows,
         title="Streaming capture telemetry",

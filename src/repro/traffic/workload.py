@@ -34,6 +34,7 @@ from repro.parallel import (
 )
 from repro.satcom.beams import BeamMap, build_default_beam_map
 from repro.satcom.delay_model import SatelliteRttModel
+from repro.satcom.delaysource import DelaySource, StaticDelaySource
 from repro.traffic.profiles import country_profile
 from repro.traffic.services import SERVICES, L7_ORDER, Service, ServiceCategory
 from repro.traffic.subscribers import (
@@ -84,15 +85,23 @@ class WorkloadGenerator:
         rtt_model: Optional[SatelliteRttModel] = None,
         population: Optional[Population] = None,
         plan_mix: Optional[Dict[str, Dict[str, float]]] = None,
+        delay_source: Optional[DelaySource] = None,
     ) -> None:
         self.config = config or WorkloadConfig()
         self.rng = np.random.default_rng(self.config.seed)
-        if rtt_model is None:
-            # the baseline scenario owns the default model tree
-            from repro.scenario import get_scenario
+        if delay_source is not None and rtt_model is not None:
+            raise ValueError("pass delay_source or rtt_model, not both")
+        if delay_source is None:
+            if rtt_model is not None:
+                # legacy entry point: a bare model is the static source
+                delay_source = StaticDelaySource(rtt_model=rtt_model)
+            else:
+                # the baseline scenario owns the default model tree
+                from repro.scenario import get_scenario
 
-            rtt_model = get_scenario("baseline-geo").build_rtt_model()
-        self.rtt_model = rtt_model
+                delay_source = get_scenario("baseline-geo").build_delay_source()
+        self.delay_source = delay_source
+        self.rtt_model = delay_source.rtt_model
         self.beam_map: BeamMap = self.rtt_model.beam_map
         self.internet = internet or InternetModel()
         for svc in SERVICES.values():
@@ -106,6 +115,9 @@ class WorkloadGenerator:
             countries=self.config.countries,
             beam_map=self.beam_map,
             plan_mix=plan_mix,
+        )
+        self.delay_source.bind_customers(
+            [s.country for s in self.population.subscribers]
         )
         self._build_pools()
         self._build_customer_arrays()
@@ -407,11 +419,16 @@ class WorkloadGenerator:
         sat_rtt = np.full(total, np.nan, dtype=np.float32)
         https_mask = l7 == _HTTPS_IDX
         if https_mask.any():
+            # The flow start-times thread into the delay source: the
+            # static source ignores them (bit-identical to the bare
+            # model) while the constellation source derives its
+            # per-epoch floor from them — draw-free either way.
             sat_rtt[https_mask] = (
-                self.rtt_model.sample_handshake_rtt_bulk(
+                self.delay_source.sample_handshake_rtt_bulk(
                     country,
                     utilization[https_mask],
                     pep_load[https_mask],
+                    ts[https_mask],
                     rng,
                 )
                 * 1000.0

@@ -1,0 +1,254 @@
+"""The DelaySource seam: static parity, constellation motion, LEO edges.
+
+Pins the tentpole contract of the delay refactor:
+
+* ``StaticDelaySource`` is byte-identical to the bare model (same RNG
+  stream, same samples), so every pre-refactor capture digest holds.
+* ``ConstellationDelaySource`` adds a deterministic, draw-free floor:
+  RTTs move across scheduling epochs, flows in the post-handover
+  window pay the spike, and the floor stays inside the constellation's
+  physical min/max bounds.
+* ``LeoShell`` edge cases: elevation exactly at the mask, bent-pipe vs
+  ISL hop counts, multi-shell bound composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT_M_S
+from repro.internet.geo import COUNTRIES
+from repro.satcom.constellation import ConstellationModel, slant_range_m_vec
+from repro.satcom.delay_model import SatelliteRttModel
+from repro.satcom.delaysource import ConstellationDelaySource, StaticDelaySource
+from repro.satcom.leo import LeoGeometryAdapter, LeoShell
+from repro.scenario import get_scenario
+
+SEEDS = (0, 7, 2022)
+
+
+# --- static parity ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_static_source_is_byte_identical_to_bare_model(seed):
+    model = SatelliteRttModel()
+    source = StaticDelaySource(rtt_model=SatelliteRttModel())
+    n = 500
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    util = np.linspace(0.2, 0.9, n)
+    pep = np.linspace(0.1, 0.8, n)
+    t_s = np.linspace(0.0, 86400.0, n)
+    base = model.sample_handshake_rtt_bulk("Spain", util, pep, rng_a)
+    via_source = source.sample_handshake_rtt_bulk("Spain", util, pep, t_s, rng_b)
+    assert np.array_equal(base, via_source)
+    # and the RNG streams are in the same state afterwards
+    assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+
+
+def test_static_source_floor_ignores_time():
+    source = get_scenario("baseline-geo").build_delay_source()
+    assert source.floor_rtt_s("Spain") == source.floor_rtt_s("Spain", t_s=12345.0)
+    assert np.all(source.floor_delta_s("Spain", np.arange(10.0)) == 0.0)
+    assert source.propagation_extra_s("Spain", 99.0) == 0.0
+    assert source.handovers_between(0.0, 86400.0) == 0
+
+
+def test_sample_rtt_requires_bound_customers():
+    source = StaticDelaySource()
+    with pytest.raises(ValueError, match="bind_customers"):
+        source.sample_rtt(np.array([0]), np.array([0.0]), np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sample_rtt_resolves_customers_to_countries(seed):
+    source = get_scenario("leo-starlink").build_delay_source()
+    source.bind_customers(["Spain", "Congo", "Spain"])
+    rng = np.random.default_rng(seed)
+    ids = np.array([0, 1, 2, 1, 0])
+    t_s = np.linspace(0.0, 3600.0, len(ids))
+    rtt = source.sample_rtt(ids, t_s, rng)
+    assert rtt.shape == ids.shape
+    assert np.all(rtt > 0.0)
+    assert np.all(np.isfinite(rtt))
+
+
+# --- constellation model ----------------------------------------------------
+
+
+def test_epochs_and_handover_mask_follow_reconfiguration_boundary():
+    model = ConstellationModel(reconfiguration_s=15.0, handover_window_s=1.0)
+    t = np.array([0.0, 0.5, 1.0, 14.9, 15.0, 15.5, 29.9, 30.0])
+    assert list(model.epoch_of(t)) == [0, 0, 0, 0, 1, 1, 1, 2]
+    assert list(model.handover_mask(t)) == [
+        True, True, False, False, True, True, False, True,
+    ]
+    assert model.handovers_between(0.0, 86400.0) == 86400 // 15
+    assert model.handovers_between(0.0, 14.9) == 0
+    assert model.handovers_between(14.9, 15.1) == 1
+    assert model.handovers_between(10.0, 10.0) == 0
+
+
+def test_constellation_floor_is_deterministic_and_moves():
+    model = ConstellationModel()
+    t = np.arange(0.0, 1500.0, 15.0)
+    a = model.rtt_floor_s(40.0, t)
+    b = model.rtt_floor_s(40.0, t)
+    assert np.array_equal(a, b)  # pure function of time, no RNG
+    assert len(np.unique(np.round(a, 6))) > 10  # epochs differ
+    # within one epoch the floor is constant
+    same_epoch = model.rtt_floor_s(40.0, np.array([30.1, 35.0, 44.9]))
+    assert np.allclose(same_epoch, same_epoch[0])
+
+
+def test_constellation_floor_within_physical_bounds():
+    model = ConstellationModel(
+        shells=(LeoShell(), LeoShell(altitude_m=1_150_000.0)),
+        satellites_per_shell=(1584, 720),
+    )
+    t = np.arange(0.0, 15.0 * 4000, 15.0)
+    for lat in (0.0, 40.0, 55.0):
+        floor = model.rtt_floor_s(lat, t)
+        assert np.all(floor >= model.min_rtt_s() - 1e-12)
+        assert np.all(floor <= model.max_rtt_s() + 1e-12)
+
+
+def test_high_latitudes_see_lower_passes():
+    model = ConstellationModel()
+    t = np.arange(0.0, 15.0 * 2000, 15.0)
+    equator = model.rtt_floor_s(0.0, t).mean()
+    subpolar = model.rtt_floor_s(65.0, t).mean()
+    assert subpolar > equator  # lower elevations -> longer slant ranges
+    assert model.max_usable_elevation_deg(0.0) > model.max_usable_elevation_deg(65.0)
+
+
+def test_serving_shell_weighting_tracks_satellite_counts():
+    model = ConstellationModel(
+        shells=(LeoShell(), LeoShell(altitude_m=1_150_000.0)),
+        satellites_per_shell=(1584, 720),
+    )
+    t = np.arange(0.0, 15.0 * 20000, 15.0)
+    share = model.serving_shell(40.0, t).mean()  # fraction on shell 1
+    assert share == pytest.approx(720 / 2304, abs=0.02)
+
+
+def test_constellation_validation():
+    with pytest.raises(ValueError, match="same length"):
+        ConstellationModel(shells=(LeoShell(),), satellites_per_shell=(10, 20))
+    with pytest.raises(ValueError, match="at least one shell"):
+        ConstellationModel(shells=(), satellites_per_shell=())
+
+
+# --- constellation delay source ---------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_constellation_source_preserves_rng_stream(seed):
+    """The time-varying delta consumes zero draws: the wrapped model's
+    stream advances exactly as it would under the static source."""
+    leo = get_scenario("leo-starlink")
+    source = leo.build_delay_source()
+    bare = leo.build_rtt_model()
+    n = 300
+    util = np.full(n, 0.5)
+    pep = np.full(n, 0.3)
+    t_s = np.linspace(0.0, 7200.0, n)
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    sampled = source.sample_handshake_rtt_bulk("Spain", util, pep, t_s, rng_a)
+    base = bare.sample_handshake_rtt_bulk("Spain", util, pep, rng_b)
+    assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+    delta = source.floor_delta_s("Spain", t_s)
+    assert np.allclose(sampled, np.maximum(base + delta, 1e-3))
+
+
+def test_handover_window_pays_the_spike():
+    source = get_scenario("leo-starlink").build_delay_source()
+    inside = np.array([15.0 * 100 + 0.5])  # inside the 1 s window
+    outside = np.array([15.0 * 100 + 5.0])  # same epoch, past the window
+    delta_in = source.floor_delta_s("Spain", inside)[0]
+    delta_out = source.floor_delta_s("Spain", outside)[0]
+    assert delta_in - delta_out == pytest.approx(source.handover_penalty_s)
+
+
+def test_propagation_extra_is_half_the_floor_delta():
+    source = get_scenario("leo-starlink").build_delay_source()
+    t = 1234.0
+    delta = source.floor_delta_s("Congo", np.array([t]))[0]
+    assert source.propagation_extra_s("Congo", t) == pytest.approx(0.5 * delta)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_leo_starlink_capture_rtt_varies_across_epochs(seed):
+    source = get_scenario("leo-starlink").build_delay_source()
+    epochs = np.arange(200, dtype=np.float64) * 15.0 + 5.0
+    floors = np.array(
+        [source.floor_rtt_s("Spain", t_s=t) for t in epochs[:50]]
+    )
+    assert floors.std() > 0.0
+    rng = np.random.default_rng(seed)
+    n = len(epochs)
+    rtt = source.sample_handshake_rtt_bulk(
+        "Spain", np.full(n, 0.4), np.full(n, 0.2), epochs, rng
+    )
+    assert np.all(rtt >= 1e-3)
+
+
+# --- LeoShell edge cases (satellite task) -----------------------------------
+
+
+def test_leo_elevation_exactly_at_mask():
+    shell = LeoShell()
+    at_mask = shell.slant_range_m(shell.min_elevation_deg)
+    zenith = shell.slant_range_m(90.0)
+    assert at_mask > zenith
+    assert zenith == pytest.approx(shell.altitude_m)
+    vec = slant_range_m_vec(
+        shell.orbit_radius_m, np.array([shell.min_elevation_deg, 90.0])
+    )
+    assert vec[0] == pytest.approx(at_mask)
+    assert vec[1] == pytest.approx(zenith)
+    with pytest.raises(ValueError):
+        shell.slant_range_m(-0.1)
+    with pytest.raises(ValueError):
+        shell.slant_range_m(90.1)
+
+
+def test_bent_pipe_hop_counts():
+    bent = LeoShell(bent_pipe=True)
+    isl = LeoShell(bent_pipe=False)
+    # bent pipe traverses user+feeder links up and down (4 hops);
+    # ISL routing crosses the space segment once per direction (2).
+    assert bent.min_rtt_s() == pytest.approx(2.0 * isl.min_rtt_s())
+    assert bent.max_rtt_s() == pytest.approx(2.0 * isl.max_rtt_s())
+    assert isl.min_rtt_s() == pytest.approx(
+        2.0 * isl.slant_range_m(90.0) / SPEED_OF_LIGHT_M_S
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multi_shell_bounds_compose(seed):
+    low = LeoShell(altitude_m=550_000.0)
+    high = LeoShell(altitude_m=1_150_000.0)
+    model = ConstellationModel(
+        shells=(low, high), satellites_per_shell=(1584, 720)
+    )
+    assert model.min_rtt_s() == pytest.approx(low.min_rtt_s())
+    assert model.max_rtt_s() == pytest.approx(high.max_rtt_s())
+    rng = np.random.default_rng(seed)
+    for shell in (low, high):
+        # sample_rtt_s = propagation within [min, max] bounds plus a
+        # >= 10 ms processing/terrestrial floor
+        samples = shell.sample_rtt_s(rng, 2000)
+        assert np.all(samples >= shell.min_rtt_s() + 0.010 - 1e-12)
+        assert np.all(samples <= shell.max_rtt_s() + 0.010 + 8 * 2.0 * 0.004 + 0.1)
+        assert np.median(samples) < 0.2
+
+
+def test_leo_adapter_floor_between_bounds():
+    shell = LeoShell()
+    adapter = LeoGeometryAdapter(shell)
+    spain = COUNTRIES["Spain"]
+    assert shell.min_rtt_s() < adapter.propagation_rtt_s(spain) < shell.max_rtt_s()

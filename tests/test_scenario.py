@@ -305,6 +305,73 @@ def test_cannot_outage_every_beam_of_a_country():
         base.with_overrides({"beams.outages": str(ireland).replace("'", '"')})
 
 
+# --- constellation section --------------------------------------------------
+
+
+def test_constellation_unknown_keys_raise_path_qualified():
+    with pytest.raises(ScenarioError, match=r"constellation\.warp_drive"):
+        Scenario.from_mapping({"constellation": {"warp_drive": True}})
+    with pytest.raises(ScenarioError, match=r"constellation\.altitude_km"):
+        get_scenario("baseline-geo").with_overrides(
+            {"constellation.altitude_km": "550"}
+        )
+
+
+@pytest.mark.parametrize(
+    "override, path_fragment",
+    [
+        ({"constellation.mode": "elliptical"}, "constellation.mode"),
+        ({"constellation.altitudes_km": "[100.0]"}, "constellation.altitudes_km"),
+        ({"constellation.min_elevation_deg": "95"}, "constellation.min_elevation_deg"),
+        ({"constellation.reconfiguration_s": "0"}, "constellation.reconfiguration_s"),
+        ({"constellation.handover_window_s": "20"}, "constellation.handover_window_s"),
+        ({"constellation.handover_penalty_ms": "-1"}, "constellation.handover_penalty_ms"),
+    ],
+)
+def test_constellation_out_of_range_values_raise(override, path_fragment):
+    with pytest.raises(ScenarioError) as excinfo:
+        get_scenario("baseline-geo").with_overrides(override)
+    assert path_fragment in str(excinfo.value)
+
+
+def test_default_constellation_is_digest_neutral():
+    base = get_scenario("baseline-geo")
+    same = base.with_overrides({"constellation.reconfiguration_s": "15.0"})
+    assert same.digest() == base.digest()
+    assert "constellation" not in base.content_payload()
+    assert "constellation" not in base.models_payload()
+
+
+def test_orbital_constellation_changes_digest():
+    base = get_scenario("baseline-geo")
+    orbital = base.with_overrides({"constellation.mode": "orbital"})
+    assert orbital.digest() != base.digest()
+    assert "constellation" in orbital.content_payload()
+    assert get_scenario("leo-starlink").digest() != get_scenario("leo").digest()
+    assert get_scenario("multi-orbit").digest() != get_scenario("leo-starlink").digest()
+
+
+def test_build_delay_source_types():
+    from repro.satcom.delaysource import (
+        ConstellationDelaySource,
+        StaticDelaySource,
+    )
+
+    static = get_scenario("baseline-geo").build_delay_source()
+    assert isinstance(static, StaticDelaySource)
+    assert not static.is_time_varying
+
+    starlink = get_scenario("leo-starlink").build_delay_source()
+    assert isinstance(starlink, ConstellationDelaySource)
+    assert starlink.is_time_varying
+    assert starlink.handover_penalty_s == pytest.approx(0.008)
+    assert len(starlink.constellation.shells) == 1
+
+    multi = get_scenario("multi-orbit").build_delay_source()
+    assert len(multi.constellation.shells) == 2
+    assert multi.constellation.satellites_per_shell == (1584, 720)
+
+
 # --- builders ---------------------------------------------------------------
 
 
