@@ -46,6 +46,10 @@ _ARRAY_FIELDS = (
     "dns_response_ms",
     "site_idx",
     "plan_down_mbps",
+    "session_id",
+    "qoe_rebuffer",
+    "qoe_level",
+    "qoe_switches",
 )
 
 
@@ -81,9 +85,25 @@ class FlowFrame:
     dns_response_ms: np.ndarray  # f4 (nan)
     site_idx: np.ndarray        # i2 (-1)
     plan_down_mbps: np.ndarray  # f4
+    # Session/QoE quartet (added after the seed schema): optional at
+    # construction — omitted columns are sentinel-backfilled, so
+    # pre-session construction sites and old captures keep working.
+    session_id: Optional[np.ndarray] = None    # i8, video session id (-1)
+    qoe_rebuffer: Optional[np.ndarray] = None  # f4, rebuffer ratio (nan)
+    qoe_level: Optional[np.ndarray] = None     # f4, mean ladder level (nan)
+    qoe_switches: Optional[np.ndarray] = None  # i2, level switches (-1)
 
     def __post_init__(self) -> None:
         n = len(self.ts_start)
+        for name in ("session_id", "qoe_rebuffer", "qoe_level", "qoe_switches"):
+            if getattr(self, name) is None:
+                setattr(
+                    self,
+                    name,
+                    np.full(
+                        n, self.COLUMN_FILL[name], dtype=self.COLUMN_DTYPES[name]
+                    ),
+                )
         for name in _ARRAY_FIELDS:
             if len(getattr(self, name)) != n:
                 raise ValueError(f"column {name} has mismatched length")
@@ -238,15 +258,25 @@ class FlowFrame:
         Every column is coerced to :attr:`COLUMN_DTYPES` — captures
         written before a dtype tightened (or by external tools) otherwise
         propagate drifted dtypes silently into every downstream
-        aggregate.
+        aggregate. Columns added after a capture was written (the
+        session/QoE columns) are backfilled with their sentinels so
+        old captures keep loading.
         """
         with np.load(path, allow_pickle=True) as data:
             pools = {
                 name: [str(x) for x in data[f"pool_{name}"]]
                 for name in _POOL_FIELDS
             }
+            present = set(data.files)
+            n = len(data["ts_start"])
             columns = {
-                name: data[name].astype(cls.COLUMN_DTYPES[name], copy=False)
+                name: (
+                    data[name].astype(cls.COLUMN_DTYPES[name], copy=False)
+                    if name in present
+                    else np.full(
+                        n, cls.COLUMN_FILL[name], dtype=cls.COLUMN_DTYPES[name]
+                    )
+                )
                 for name in _ARRAY_FIELDS
             }
         return cls(**pools, **columns)
@@ -275,6 +305,10 @@ class FlowFrame:
         "dns_response_ms": np.float32,
         "site_idx": np.int16,
         "plan_down_mbps": np.float32,
+        "session_id": np.int64,
+        "qoe_rebuffer": np.float32,
+        "qoe_level": np.float32,
+        "qoe_switches": np.int16,
     }
 
     #: Sentinel value per column for rows where the column was not
@@ -300,6 +334,10 @@ class FlowFrame:
         "dns_response_ms": np.nan,
         "site_idx": -1,
         "plan_down_mbps": np.nan,
+        "session_id": -1,
+        "qoe_rebuffer": np.nan,
+        "qoe_level": np.nan,
+        "qoe_switches": -1,
     }
 
     @classmethod
@@ -429,5 +467,9 @@ class FlowFrame:
             ),
             site_idx=np.full(n, -1, dtype=np.int16),
             plan_down_mbps=np.full(n, np.nan, dtype=np.float32),
+            session_id=np.full(n, -1, dtype=np.int64),
+            qoe_rebuffer=np.full(n, np.nan, dtype=np.float32),
+            qoe_level=np.full(n, np.nan, dtype=np.float32),
+            qoe_switches=np.full(n, -1, dtype=np.int16),
         )
         return frame

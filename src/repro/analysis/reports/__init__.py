@@ -23,6 +23,7 @@ from repro.analysis.reports import (
     fig10_dns,
     table2_resolver_rtt,
     fig11_throughput,
+    fig12_video_qoe,
     appendix_ground_rtt,
     web_qoe,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "fig10_dns",
     "table2_resolver_rtt",
     "fig11_throughput",
+    "fig12_video_qoe",
     "appendix_ground_rtt",
     "web_qoe",
 ]

@@ -1,0 +1,201 @@
+"""Figure 12 — video-session QoE per country and plan (extension).
+
+The paper stops at bulk throughput (Figure 11a), whose CCDF knees sit
+at the commercial plan rates. This extension projects those same plan
+rates onto adaptive-bitrate video sessions
+(:class:`~repro.traffic.sessions.VideoSessionModel`): per-session
+rebuffer ratio, mean resolution level on the bitrate ladder, and level
+switches, aggregated per (country, plan). The shaping presets
+(``shaped-vs-unshaped``) make the operator-policy trade-off visible as
+a QoE delta rather than a raw rate cap.
+
+No published values exist for this figure; the Figure 11a plan-rate
+knees (30/50/100 Mb/s Europe, 10/30 Mb/s Africa) are the reference
+points a sensible QoE gradient must follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.aggregate import format_table
+from repro.analysis.dataset import FlowFrame
+from repro.satcom.plans import PLAN_ORDER, plan_index_bulk
+
+#: Figure 11a plan-rate knees — the throughput context for the QoE rows.
+PAPER_PLAN_KNEES_MBPS = {
+    "Europe": (30.0, 50.0, 100.0),
+    "Africa": (10.0, 30.0),
+}
+
+
+@dataclass
+class Fig12Result:
+    """Per-(plan, country) session counters and QoE sums.
+
+    Arrays are ``(n_plans, n_countries)`` over the capture's full
+    country pool and :data:`PLAN_ORDER`; both the frame and the rollup
+    path produce this exact shape, which is what makes the render
+    parity trivial.
+    """
+
+    countries: List[str]
+    plans: Tuple[str, ...]
+    sessions: np.ndarray  # int64
+    rebuffer_sum: np.ndarray  # float64
+    level_sum: np.ndarray  # float64
+    switch_sum: np.ndarray  # float64
+
+    def total_sessions(self) -> int:
+        return int(self.sessions.sum())
+
+    def cell(self, country: str, plan: str) -> Tuple[int, float, float, float]:
+        """(sessions, mean rebuffer, mean level, mean switches)."""
+        p = self.plans.index(plan)
+        c = self.countries.index(country)
+        n = int(self.sessions[p, c])
+        if n == 0:
+            return 0, float("nan"), float("nan"), float("nan")
+        return (
+            n,
+            float(self.rebuffer_sum[p, c] / n),
+            float(self.level_sum[p, c] / n),
+            float(self.switch_sum[p, c] / n),
+        )
+
+    def mean_rebuffer(self, country: str) -> float:
+        """Session-weighted mean rebuffer ratio across plans."""
+        c = self.countries.index(country)
+        n = self.sessions[:, c].sum()
+        if n == 0:
+            return float("nan")
+        return float(self.rebuffer_sum[:, c].sum() / n)
+
+    def mean_level(self, country: str) -> float:
+        c = self.countries.index(country)
+        n = self.sessions[:, c].sum()
+        if n == 0:
+            return float("nan")
+        return float(self.level_sum[:, c].sum() / n)
+
+
+def _dedupe_sessions(frame: FlowFrame):
+    """One row per session: ABR chunks repeat the session's QoE triple,
+    so dedupe on the globally-unique ``session_id``."""
+    has = frame.session_id >= 0
+    if not has.any():
+        return None
+    ids = frame.session_id[has]
+    _, first = np.unique(ids, return_index=True)
+    return (
+        plan_index_bulk(frame.plan_down_mbps[has][first]).astype(np.int64),
+        frame.country_idx[has][first].astype(np.int64),
+        frame.qoe_rebuffer[has][first].astype(np.float64),
+        frame.qoe_level[has][first].astype(np.float64),
+        frame.qoe_switches[has][first].astype(np.float64),
+    )
+
+
+def compute(frame: FlowFrame) -> Fig12Result:
+    """Measure per-(country, plan) QoE from the flow table."""
+    nc = len(frame.countries)
+    npl = len(PLAN_ORDER)
+    shape = (npl, nc)
+    result = Fig12Result(
+        countries=list(frame.countries),
+        plans=PLAN_ORDER,
+        sessions=np.zeros(shape, dtype=np.int64),
+        rebuffer_sum=np.zeros(shape, dtype=np.float64),
+        level_sum=np.zeros(shape, dtype=np.float64),
+        switch_sum=np.zeros(shape, dtype=np.float64),
+    )
+    deduped = _dedupe_sessions(frame)
+    if deduped is None:
+        return result
+    plan, country, rebuf, level, switches = deduped
+    ok = (plan >= 0) & np.isfinite(rebuf) & np.isfinite(level)
+    if not ok.any():
+        return result
+    rows = plan[ok] * nc + country[ok]
+    size = npl * nc
+    result.sessions += np.bincount(rows, minlength=size).reshape(shape)
+    result.rebuffer_sum += np.bincount(
+        rows, weights=rebuf[ok], minlength=size
+    ).reshape(shape)
+    result.level_sum += np.bincount(
+        rows, weights=level[ok], minlength=size
+    ).reshape(shape)
+    result.switch_sum += np.bincount(
+        rows, weights=switches[ok], minlength=size
+    ).reshape(shape)
+    return result
+
+
+def from_rollup(rollup) -> Fig12Result:
+    """Figure 12 from the v4 QoE bank — the same counters the frame
+    path computes, folded window by window."""
+    nc = len(rollup.countries)
+    shape = (len(PLAN_ORDER), nc)
+    return Fig12Result(
+        countries=list(rollup.countries),
+        plans=PLAN_ORDER,
+        sessions=rollup.qoe_sessions.reshape(shape).copy(),
+        rebuffer_sum=rollup.qoe_rebuffer_sum.reshape(shape).copy(),
+        level_sum=rollup.qoe_level_sum.reshape(shape).copy(),
+        switch_sum=rollup.qoe_switch_sum.reshape(shape).copy(),
+    )
+
+
+def render(result: Fig12Result) -> str:
+    rows = []
+    for country in result.countries:
+        for plan in result.plans:
+            n, rebuf, level, switches = result.cell(country, plan)
+            if n == 0:
+                continue
+            rows.append(
+                (
+                    country,
+                    plan,
+                    n,
+                    f"{rebuf * 100:.2f} %",
+                    f"{level:.2f}",
+                    f"{switches:.2f}",
+                )
+            )
+    title = "Figure 12: video-session QoE per country and plan (extension)"
+    if not rows:
+        return (
+            f"{title}\n  no video sessions in this capture "
+            "(generate with --scenario video-streaming or "
+            "--set traffic.qoe.enabled=true)"
+        )
+    return format_table(
+        ["Country", "Plan", "Sessions", "Rebuffer", "Mean level", "Switches"],
+        rows,
+        title=title,
+    )
+
+
+from repro.analysis import registry as _registry
+
+_registry.register(
+    name="fig12",
+    title="Video-session QoE (extension)",
+    module=__name__,
+    columns=(
+        "country_idx",
+        "plan_down_mbps",
+        "session_id",
+        "qoe_rebuffer",
+        "qoe_level",
+        "qoe_switches",
+    ),
+    compute_frame=compute,
+    compute_rollup=from_rollup,
+    render=render,
+    exact_parity=True,
+)

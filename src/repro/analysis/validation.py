@@ -21,6 +21,7 @@ from repro.analysis.reports import (
     fig8_satellite_rtt,
     fig9_ground_rtt,
     fig10_dns,
+    fig12_video_qoe,
     table1_protocols,
 )
 
@@ -163,6 +164,17 @@ def build_scorecard(frame: FlowFrame) -> Scorecard:
         Check("Fig10 Google share in Congo", 85.68, f10.share("Google", "Congo"), 14.0, " %")
     )
 
+    # Figure 12 (extension) — only when the capture carries video
+    # sessions (traffic.qoe enabled); QoE-less captures keep the
+    # original check list byte-for-byte.
+    if np.any(frame.session_id >= 0):
+        f12 = fig12_video_qoe.compute(frame)
+        n = f12.total_sessions()
+        rebuf = float(f12.rebuffer_sum.sum() / n) * 100.0
+        level = float(f12.level_sum.sum() / n)
+        checks.append(Check("Fig12 mean rebuffer ratio", 1.0, rebuf, 5.0, " %"))
+        checks.append(Check("Fig12 mean resolution level", 2.5, level, 1.5, ""))
+
     return Scorecard(checks=checks)
 
 
@@ -216,4 +228,63 @@ def render_delay_comparison(
         ["Metric", label_a, label_b, "Δ"],
         rows,
         title=f"Satellite delay comparison: {label_a} vs {label_b}",
+    )
+
+
+def render_qoe_comparison(
+    frame_a: FlowFrame,
+    frame_b: FlowFrame,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Side-by-side video-QoE profile of two captures.
+
+    The shaping-policy view of the session model: run the same video
+    workload with and without an operator shaper
+    (``repro scorecard --scenario video-streaming
+    --compare shaped-vs-unshaped``) and diff the session-weighted QoE
+    aggregates — the shaper should trade resolution level for a bounded
+    rebuffer ratio, not silently wreck both.
+    """
+    a12 = fig12_video_qoe.compute(frame_a)
+    b12 = fig12_video_qoe.compute(frame_b)
+
+    def agg(result, sums) -> float:
+        n = result.total_sessions()
+        return float(sums.sum() / n) if n else float("nan")
+
+    metrics = [
+        (
+            "Video sessions",
+            float(a12.total_sessions()),
+            float(b12.total_sessions()),
+            "{:.0f}",
+        ),
+        (
+            "Mean rebuffer ratio (%)",
+            agg(a12, a12.rebuffer_sum) * 100.0,
+            agg(b12, b12.rebuffer_sum) * 100.0,
+            "{:.2f}",
+        ),
+        (
+            "Mean resolution level",
+            agg(a12, a12.level_sum),
+            agg(b12, b12.level_sum),
+            "{:.2f}",
+        ),
+        (
+            "Mean switches/session",
+            agg(a12, a12.switch_sum),
+            agg(b12, b12.switch_sum),
+            "{:.2f}",
+        ),
+    ]
+    rows = [
+        (name, fmt.format(va), fmt.format(vb), f"{vb - va:+.2f}")
+        for name, va, vb, fmt in metrics
+    ]
+    return format_table(
+        ["Metric", label_a, label_b, "Δ"],
+        rows,
+        title=f"Video QoE comparison: {label_a} vs {label_b}",
     )

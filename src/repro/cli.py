@@ -13,6 +13,8 @@
     python -m repro report    --scenario leo --which fig8
     python -m repro scorecard --dataset capture.npz
     python -m repro scorecard --compare leo-starlink
+    python -m repro scorecard --scenario video-streaming \
+                              --compare shaped-vs-unshaped
     python -m repro packet-sim
     python -m repro errant    --dataset capture.npz --country Spain --netem
 
@@ -638,7 +640,12 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     scorecard = build_scorecard(frame)
     print(scorecard.render())
     if args.compare is not None:
-        from repro.analysis.validation import render_delay_comparison
+        import numpy as np
+
+        from repro.analysis.validation import (
+            render_delay_comparison,
+            render_qoe_comparison,
+        )
         from repro.pipeline import generate_flow_dataset
 
         base = _scenario_from_args(args)
@@ -655,6 +662,13 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
                 frame, other_frame, label_a=base.name, label_b=other.name
             )
         )
+        if np.any(frame.session_id >= 0) or np.any(other_frame.session_id >= 0):
+            print()
+            print(
+                render_qoe_comparison(
+                    frame, other_frame, label_a=base.name, label_b=other.name
+                )
+            )
     return 0 if scorecard.passed == scorecard.total else 1
 
 

@@ -10,7 +10,9 @@ rates are the knees of Figure 11a.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -50,9 +52,27 @@ PLAN_MIX_BY_CONTINENT: Dict[str, Dict[str, float]] = {
 }
 
 
+#: Canonical plan ordering — the per-plan axis of the rollup's QoE bank.
+PLAN_ORDER: Tuple[str, ...] = tuple(PLANS)
+
+
 def plan_by_downlink(down_mbps: float) -> Plan:
     """The plan whose downlink rate matches ``down_mbps`` (raises KeyError)."""
     for plan in PLANS.values():
         if plan.down_mbps == down_mbps:
             return plan
     raise KeyError(f"no plan with downlink {down_mbps} Mb/s")
+
+
+def plan_index_bulk(down_mbps: np.ndarray) -> np.ndarray:
+    """Vectorized ``plan_down_mbps`` → :data:`PLAN_ORDER` index.
+
+    Unknown or NaN rates map to ``-1`` (callers mask them out). Plan
+    rates are integer Mb/s values, exact in float32, so the equality
+    match is stable across dtypes.
+    """
+    rates = np.asarray(down_mbps, dtype=np.float64)
+    out = np.full(rates.shape, -1, dtype=np.int16)
+    for idx, name in enumerate(PLAN_ORDER):
+        out[rates == PLANS[name].down_mbps] = idx
+    return out

@@ -65,6 +65,19 @@ DEFAULT_RULES: Tuple[ClassificationRule, ...] = (
 )
 
 
+def video_session_shaper(shape_bps: Optional[float]) -> Optional[TokenBucketShaper]:
+    """The per-session video token bucket (``None`` = unshaped plan).
+
+    Session-structured video (:mod:`repro.traffic.sessions`) runs its
+    chunk schedule through this bucket — the same primitive the
+    strict-priority scheduler uses for the VIDEO class — so scenario
+    ``traffic.qoe.shape_bps`` and packet-level shaping agree.
+    """
+    if shape_bps is None:
+        return None
+    return TokenBucketShaper(rate_bps=float(shape_bps))
+
+
 def classify(
     protocol: str,
     port: int,

@@ -39,22 +39,27 @@ class TokenBucketShaper:
         self._tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0)
         self._last_update = now
 
-    def delay_for(self, size_bytes: int, now: float) -> float:
+    def delay_for(self, size_bytes: float, now: float) -> float:
         """Seconds until ``size_bytes`` may be released, updating state.
 
-        Returns 0.0 when the bucket has enough tokens; otherwise the
-        debt is paid at the sustained rate (the packet is scheduled
-        into the future, like a real shaper queue).
+        Sizes are accepted as any real number (workload callers pass
+        numpy float64 chunk sizes); they must be finite and
+        non-negative. Returns 0.0 when the bucket has enough tokens;
+        otherwise the debt is paid at the sustained rate (the packet
+        is scheduled into the future, like a real shaper queue).
         """
-        if size_bytes < 0:
-            raise ValueError("size_bytes must be non-negative")
+        size_bytes = float(size_bytes)
+        if not size_bytes >= 0:  # rejects negatives AND NaN
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        if size_bytes == float("inf"):
+            raise ValueError("size_bytes must be finite")
         self._refill(now)
         self._tokens -= size_bytes
         if self._tokens >= 0:
             return 0.0
         return -self._tokens * 8.0 / self.rate_bps
 
-    def would_conform(self, size_bytes: int, now: float) -> bool:
+    def would_conform(self, size_bytes: float, now: float) -> bool:
         """Whether ``size_bytes`` would pass without delay (no state change)."""
         elapsed = max(0.0, now - self._last_update)
         tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0)

@@ -20,6 +20,10 @@ unrelated config objects (``WorkloadConfig``, ``StreamConfig``,
 ``plans``      commercial plan mix per continent (Section 6.5)
 ``population`` who subscribes (count, countries)
 ``workload``   what they do (days, seed, flow scaling, DNS rate)
+``traffic``    the session-structured traffic model — per-category mix
+               weights, per-service distribution overrides
+               (``lognormal(...)`` spec strings) and the video-QoE
+               session knobs (content only when moved off defaults)
 ``stream``     windowing of streaming captures (content)
 ``execution``  workers / spill compression (never content)
 ``fleet``      distributed capture partitioning — partitions,
@@ -82,7 +86,9 @@ from repro.satcom.mac import SlottedAlohaModel, TdmaModel
 from repro.satcom.pep import PepCapacityModel
 from repro.satcom.plans import PLAN_MIX_BY_CONTINENT, PLANS
 from repro.satcom.qos_sim import QosScenarioConfig
-from repro.traffic.workload import WorkloadConfig
+from repro.traffic.distributions import DistributionError, parse_spec
+from repro.traffic.services import SERVICES, ServiceCategory
+from repro.traffic.workload import TrafficModel, WorkloadConfig
 
 #: Bump together with schema changes that alter what a digest covers.
 SCENARIO_SALT = "repro-scenario-v1"
@@ -423,6 +429,95 @@ class WorkloadSpec:
             raise ScenarioError(f"{path}.n_shards", "must be >= 1 or null")
 
 
+#: Scenario-facing category keys → :class:`ServiceCategory`.
+_CATEGORY_KEYS: Dict[str, ServiceCategory] = {
+    category.name.lower(): category for category in ServiceCategory
+}
+
+
+@dataclass(frozen=True)
+class QoeSpec:
+    """Video-QoE session knobs (``traffic.qoe``)."""
+
+    enabled: bool = False
+    sessions_per_day: float = 0.6
+    chunk_s: float = 4.0
+    startup_chunks: int = 3
+    max_buffer_s: float = 30.0
+    bitrate_ladder_mbps: Tuple[float, ...] = (1.0, 2.5, 4.0, 8.0, 16.0)
+    duration: str = "lognormal(900.0,0.8)"
+    shape_bps: Optional[float] = None
+
+    def _validate(self, path: str) -> None:
+        if self.sessions_per_day < 0.0:
+            raise ScenarioError(f"{path}.sessions_per_day", "must be >= 0")
+        if self.chunk_s <= 0.0:
+            raise ScenarioError(f"{path}.chunk_s", "must be > 0")
+        if self.startup_chunks < 1:
+            raise ScenarioError(f"{path}.startup_chunks", "must be >= 1")
+        if self.max_buffer_s < self.chunk_s:
+            raise ScenarioError(f"{path}.max_buffer_s", "must be >= chunk_s")
+        if not self.bitrate_ladder_mbps:
+            raise ScenarioError(f"{path}.bitrate_ladder_mbps", "must not be empty")
+        previous = 0.0
+        for rate in self.bitrate_ladder_mbps:
+            if rate <= previous:
+                raise ScenarioError(
+                    f"{path}.bitrate_ladder_mbps",
+                    "must be ascending positive rates",
+                )
+            previous = rate
+        try:
+            parse_spec(self.duration)
+        except DistributionError as exc:
+            raise ScenarioError(f"{path}.duration", str(exc)) from exc
+        if self.shape_bps is not None and self.shape_bps <= 0.0:
+            raise ScenarioError(f"{path}.shape_bps", "must be > 0 or null")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The session-structured traffic model (DESIGN §15).
+
+    All-defaults reproduces the legacy hard-coded draws bit-for-bit
+    and contributes nothing to the digest; any deviation (a category
+    weight, a per-service distribution spec string, enabling QoE
+    sessions) makes the section content and forks the capture
+    identity — exactly the ``constellation`` discipline.
+    """
+
+    category_weights: Dict[str, float] = field(default_factory=dict)
+    size_overrides: Dict[str, str] = field(default_factory=dict)
+    flows_overrides: Dict[str, str] = field(default_factory=dict)
+    qoe: QoeSpec = field(default_factory=QoeSpec)
+
+    def _validate(self, path: str) -> None:
+        for key, weight in self.category_weights.items():
+            if key not in _CATEGORY_KEYS:
+                raise ScenarioError(
+                    f"{path}.category_weights.{key}",
+                    f"unknown category (known: {', '.join(_CATEGORY_KEYS)})",
+                )
+            if not isinstance(weight, (int, float)) or weight <= 0:
+                raise ScenarioError(
+                    f"{path}.category_weights.{key}", "must be > 0"
+                )
+        for field_name in ("size_overrides", "flows_overrides"):
+            for svc, spec in getattr(self, field_name).items():
+                if svc not in SERVICES:
+                    raise ScenarioError(
+                        f"{path}.{field_name}.{svc}",
+                        f"unknown service (known: {', '.join(SERVICES)})",
+                    )
+                try:
+                    parse_spec(spec)
+                except DistributionError as exc:
+                    raise ScenarioError(
+                        f"{path}.{field_name}.{svc}", str(exc)
+                    ) from exc
+        self.qoe._validate(f"{path}.qoe")
+
+
 @dataclass(frozen=True)
 class StreamSpec:
     """Window plan of streaming captures — content, like ``n_shards``."""
@@ -557,6 +652,7 @@ _SECTION_TYPES: Dict[str, type] = {
     "plans": PlansSpec,
     "population": PopulationSpec,
     "workload": WorkloadSpec,
+    "traffic": TrafficSpec,
     "stream": StreamSpec,
     "execution": ExecutionSpec,
     "fleet": FleetSpec,
@@ -573,6 +669,9 @@ _SECTION_TYPES: Dict[str, type] = {
 #: conditionally: :meth:`Scenario.content_payload` appends it only when
 #: it leaves the all-defaults payload, keeping every pre-refactor
 #: digest byte-stable while giving orbital scenarios their own identity.
+#: ``traffic`` follows the same conditional discipline — distribution
+#: overrides and QoE sessions change the flows, so a non-default
+#: section is content, while the default contributes nothing.
 _CONTENT_SECTIONS = (
     "geometry",
     "beams",
@@ -596,6 +695,10 @@ _MODEL_SECTIONS = ("geometry", "beams", "mac", "channel", "pep", "plans")
 
 def _coerce(raw: Any, hint: Any, path: str) -> Any:
     origin = get_origin(hint)
+    if isinstance(hint, type) and dataclasses.is_dataclass(hint):
+        # nested section (e.g. traffic.qoe): recurse with the same
+        # unknown-key/path-qualified discipline as top-level sections
+        return _build_section(hint, raw, path)
     if origin is Union:  # Optional[X]
         args = [a for a in get_args(hint) if a is not type(None)]
         if raw is None:
@@ -664,12 +767,20 @@ def _section_payload(section: Any) -> Dict[str, Any]:
     payload: Dict[str, Any] = {}
     for f in fields(section):
         value = getattr(section, f.name)
-        if isinstance(value, tuple):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = _section_payload(value)
+        elif isinstance(value, tuple):
             value = list(value)
         elif isinstance(value, dict):
             value = dict(value)
         payload[f.name] = value
     return payload
+
+
+#: Default ``traffic`` payload: the section enters a digest only when
+#: a scenario moves off this (the ``constellation`` discipline), so
+#: every pre-refactor digest — baseline-geo included — stays pinned.
+_BASELINE_TRAFFIC_PAYLOAD: Dict[str, Any] = _section_payload(TrafficSpec())
 
 
 # --------------------------------------------------------------------------
@@ -693,6 +804,7 @@ class Scenario:
     plans: PlansSpec = field(default_factory=PlansSpec)
     population: PopulationSpec = field(default_factory=PopulationSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
     stream: StreamSpec = field(default_factory=StreamSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     fleet: FleetSpec = field(default_factory=FleetSpec)
@@ -765,8 +877,12 @@ class Scenario:
                     )
                 node = node[key]
             leaf = keys[-1]
-            # Mix tables accept new plan names (validated against PLANS).
-            if leaf not in node and not (len(keys) == 3 and keys[0] == "plans"):
+            # Mix tables accept new plan names (validated against
+            # PLANS); traffic's per-category / per-service tables
+            # accept new keys the same way (validated by TrafficSpec).
+            if leaf not in node and not (
+                len(keys) == 3 and keys[0] in ("plans", "traffic")
+            ):
                 raise ScenarioError(dotted, f"unknown {source} path")
             node[leaf] = _parse_override_value(raw)
         return Scenario.from_mapping(data)
@@ -787,6 +903,9 @@ class Scenario:
         constellation = _section_payload(self.constellation)
         if constellation != _BASELINE_CONSTELLATION_PAYLOAD:
             payload["constellation"] = constellation
+        traffic = _section_payload(self.traffic)
+        if traffic != _BASELINE_TRAFFIC_PAYLOAD:
+            payload["traffic"] = traffic
         return payload
 
     def models_payload(self) -> Dict[str, Any]:
@@ -797,6 +916,9 @@ class Scenario:
         constellation = _section_payload(self.constellation)
         if constellation != _BASELINE_CONSTELLATION_PAYLOAD:
             payload["constellation"] = constellation
+        traffic = _section_payload(self.traffic)
+        if traffic != _BASELINE_TRAFFIC_PAYLOAD:
+            payload["traffic"] = traffic
         return payload
 
     def is_baseline_models(self) -> bool:
@@ -974,6 +1096,44 @@ class Scenario:
             )
         return StaticDelaySource(rtt_model=model)
 
+    def build_traffic_model(self) -> TrafficModel:
+        """The ``traffic`` section resolved to a runtime model.
+
+        Spec strings become sampled distributions, category keys become
+        :class:`ServiceCategory` members, and the ``qoe`` sub-section
+        (when enabled) becomes a
+        :class:`~repro.traffic.sessions.VideoQoeConfig`.
+        """
+        from repro.traffic.sessions import VideoQoeConfig
+
+        spec = self.traffic
+        qoe = None
+        if spec.qoe.enabled:
+            qoe = VideoQoeConfig(
+                sessions_per_day=spec.qoe.sessions_per_day,
+                chunk_s=spec.qoe.chunk_s,
+                startup_chunks=spec.qoe.startup_chunks,
+                max_buffer_s=spec.qoe.max_buffer_s,
+                ladder_mbps=tuple(spec.qoe.bitrate_ladder_mbps),
+                duration=parse_spec(spec.qoe.duration),
+                shape_bps=spec.qoe.shape_bps,
+            )
+        return TrafficModel(
+            category_weights={
+                _CATEGORY_KEYS[key]: float(weight)
+                for key, weight in spec.category_weights.items()
+            },
+            size_dists={
+                name: parse_spec(text)
+                for name, text in spec.size_overrides.items()
+            },
+            flows_dists={
+                name: parse_spec(text)
+                for name, text in spec.flows_overrides.items()
+            },
+            qoe=qoe,
+        )
+
     def build_generator(self):
         """A fully-constructed :class:`WorkloadGenerator` for this scenario."""
         from repro.traffic.workload import WorkloadGenerator
@@ -982,6 +1142,7 @@ class Scenario:
             config=self.workload_config(),
             delay_source=self.build_delay_source(),
             plan_mix=self.plans.mix_by_continent(),
+            traffic=self.build_traffic_model(),
         )
 
     def fault_plan(self):
@@ -1177,6 +1338,23 @@ _register(
         **_LEO_STACK_OVERRIDES,
         "constellation.mode": "orbital",
     },
+)
+
+_register(
+    _BASELINE,
+    "video-streaming",
+    "Session-structured ABR video: per-session QoE (rebuffer ratio, "
+    "resolution level, switches) on unshaped plans",
+    **{"traffic.qoe.enabled": True},
+)
+
+_register(
+    _BASELINE,
+    "shaped-vs-unshaped",
+    "The video-streaming workload under a 4 Mb/s operator video shaper "
+    "(compare with: repro scorecard --scenario video-streaming "
+    "--compare shaped-vs-unshaped)",
+    **{"traffic.qoe.enabled": True, "traffic.qoe.shape_bps": 4e6},
 )
 
 _register(

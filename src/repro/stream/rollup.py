@@ -23,6 +23,7 @@ need:
 * ground-RTT histograms (count & volume weighted)   → Figure 9
 * (country, resolver) DNS counters + response hists → Figure 10
 * per-country bulk-flow throughput histograms       → Figure 11
+* per-(country, plan) video-session QoE bank        → Figure 12
 * per-customer resolver/domain-group RTT banks      → Table 2
 
 ``update`` must see *whole* windows whose boundaries fall on day
@@ -56,12 +57,14 @@ from repro.analysis.dataset import FlowFrame
 from repro.analysis.domains import TABLE2_DOMAIN_GROUPS
 from repro.constants import BULK_FLOW_MIN_BYTES
 from repro.flowmeter.records import L7Protocol, L7_ORDER
+from repro.satcom.plans import PLAN_ORDER, plan_index_bulk
 from repro.traffic.services import ServiceCategory
 
 #: Bump when the sketch layout changes; saved states refuse to load
 #: across schema versions instead of mis-merging.
 #: v3 added the per-(country, local-hour) satellite-RTT bank (h8_hour).
-ROLLUP_SCHEMA = 3
+#: v4 added the per-(country, plan) video-session QoE bank (Figure 12).
+ROLLUP_SCHEMA = 4
 
 #: Figure 7 category axis (must match fig7_service_volume.CATEGORIES).
 FIG7_CATEGORIES = (
@@ -224,6 +227,11 @@ class StreamRollup:
     DNS_EDGES = _decade_edges(-1, 4, per_decade=24)
     #: Figure 11 bulk-flow throughput, Mb/s: 0.01 .. 1000, 48 bins/decade.
     TPUT_EDGES = _decade_edges(-2, 3, per_decade=48)
+    #: Figure 12 rebuffer ratio: linear 0..1 in 2 % bins.
+    QOE_REBUF_EDGES = np.linspace(0.0, 1.0, 51)
+    #: Figure 12 mean resolution level: linear 0..8 in 0.1-level bins
+    #: (room for ladders longer than the default five rungs).
+    QOE_LEVEL_EDGES = np.linspace(0.0, 8.0, 81)
 
     def __init__(
         self,
@@ -285,6 +293,18 @@ class StreamRollup:
         self.h11_all = HistFamily(self.TPUT_EDGES, nc)
         self.h11_night = HistFamily(self.TPUT_EDGES, nc)
         self.h11_peak = HistFamily(self.TPUT_EDGES, nc)
+        # Figure 12: video-session QoE per (plan, country),
+        # row = plan * nc + country. Sessions are deduped per window
+        # (every chunk of a session carries the same QoE triple), and
+        # a session never straddles windows — it lives inside one
+        # (customer, day) — so folding windows in any order is exact.
+        n_plans = len(PLAN_ORDER)
+        self.qoe_sessions = np.zeros(n_plans * nc, dtype=np.int64)
+        self.qoe_rebuffer_sum = np.zeros(n_plans * nc, dtype=np.float64)
+        self.qoe_level_sum = np.zeros(n_plans * nc, dtype=np.float64)
+        self.qoe_switch_sum = np.zeros(n_plans * nc, dtype=np.float64)
+        self.h12_rebuf = HistFamily(self.QOE_REBUF_EDGES, n_plans * nc)
+        self.h12_level = HistFamily(self.QOE_LEVEL_EDGES, n_plans * nc)
         # Table 2: per-customer bank — DNS flows per resolver plus
         # ground-RTT (sum, count) per Table 2 domain group.
         self._t2_groups = list(TABLE2_DOMAIN_GROUPS)
@@ -317,6 +337,8 @@ class StreamRollup:
             _HistSpec("h11_all", self.TPUT_EDGES),
             _HistSpec("h11_night", self.TPUT_EDGES),
             _HistSpec("h11_peak", self.TPUT_EDGES),
+            _HistSpec("h12_rebuf", self.QOE_REBUF_EDGES),
+            _HistSpec("h12_level", self.QOE_LEVEL_EDGES),
         ]
 
     # -- update --------------------------------------------------------
@@ -377,6 +399,7 @@ class StreamRollup:
         self._update_rtt(frame, c, vol)
         self._update_services(frame, c, vol)
         self._update_dns(frame, c)
+        self._update_qoe(frame, c)
         return self
 
     def _update_customer_days(self, frame: FlowFrame, c: np.ndarray) -> None:
@@ -492,6 +515,36 @@ class StreamRollup:
         g_cat = cat[has_cat][order][starts]
         self.h7_volume.update(g_cat * nc + g_country, sums)
 
+    def _update_qoe(self, frame: FlowFrame, c: np.ndarray) -> None:
+        """Figure 12: per-(country, plan) video-session QoE.
+
+        Every chunk flow of a session repeats the session's QoE triple,
+        so the window's sessions are recovered by deduping on
+        ``session_id`` (globally unique — the id encodes customer and
+        day) and each session contributes exactly once.
+        """
+        has = frame.session_id >= 0
+        if not has.any():
+            return
+        ids = frame.session_id[has]
+        _, first = np.unique(ids, return_index=True)
+        plan = plan_index_bulk(frame.plan_down_mbps[has][first]).astype(np.int64)
+        rebuf = frame.qoe_rebuffer[has][first].astype(np.float64)
+        level = frame.qoe_level[has][first].astype(np.float64)
+        switches = frame.qoe_switches[has][first].astype(np.float64)
+        ok = (plan >= 0) & np.isfinite(rebuf) & np.isfinite(level)
+        if not ok.any():
+            return
+        nc = len(self.countries)
+        rows = plan[ok] * nc + c[has][first][ok]
+        size = len(PLAN_ORDER) * nc
+        self.qoe_sessions += np.bincount(rows, minlength=size).astype(np.int64)
+        self.qoe_rebuffer_sum += np.bincount(rows, weights=rebuf[ok], minlength=size)
+        self.qoe_level_sum += np.bincount(rows, weights=level[ok], minlength=size)
+        self.qoe_switch_sum += np.bincount(rows, weights=switches[ok], minlength=size)
+        self.h12_rebuf.update(rows, rebuf[ok])
+        self.h12_level.update(rows, level[ok])
+
     def _update_dns(self, frame: FlowFrame, c: np.ndarray) -> None:
         """Figure 10 counters/histograms and the Table 2 customer bank."""
         nr = len(self.resolvers)
@@ -580,6 +633,10 @@ class StreamRollup:
         self.sat_min_c = np.minimum(self.sat_min_c, other.sat_min_c)
         self.svc_cust_days += other.svc_cust_days
         self.dns_cr += other.dns_cr
+        self.qoe_sessions += other.qoe_sessions
+        self.qoe_rebuffer_sum += other.qoe_rebuffer_sum
+        self.qoe_level_sum += other.qoe_level_sum
+        self.qoe_switch_sum += other.qoe_switch_sum
         for cid, vec in other._t2.items():
             mine = self._t2.setdefault(
                 cid, np.zeros(self._t2_vec_len, dtype=np.float64)
@@ -637,6 +694,12 @@ class StreamRollup:
             country
         )
 
+    def qoe_row(self, country: str, plan: str) -> int:
+        """Row of the Figure 12 QoE bank for one (country, plan) cell."""
+        return PLAN_ORDER.index(plan) * len(self.countries) + self.country_row(
+            country
+        )
+
     def resolver_row(self, resolver: str) -> int:
         return self.resolvers.index(resolver)
 
@@ -672,6 +735,10 @@ class StreamRollup:
             "sat_min_c": self.sat_min_c,
             "svc_cust_days": self.svc_cust_days,
             "dns_cr": self.dns_cr,
+            "qoe_sessions": self.qoe_sessions,
+            "qoe_rebuffer_sum": self.qoe_rebuffer_sum,
+            "qoe_level_sum": self.qoe_level_sum,
+            "qoe_switch_sum": self.qoe_switch_sum,
             "counters": np.array(
                 [self.flows_total, self.windows_folded], dtype=np.int64
             ),
@@ -782,6 +849,10 @@ class StreamRollup:
             rollup.sat_min_c = data["sat_min_c"].copy()
             rollup.svc_cust_days = data["svc_cust_days"].copy()
             rollup.dns_cr = data["dns_cr"].copy()
+            rollup.qoe_sessions = data["qoe_sessions"].copy()
+            rollup.qoe_rebuffer_sum = data["qoe_rebuffer_sum"].copy()
+            rollup.qoe_level_sum = data["qoe_level_sum"].copy()
+            rollup.qoe_switch_sum = data["qoe_switch_sum"].copy()
             rollup._t2 = {
                 int(cid): data["t2_stats"][i].copy()
                 for i, cid in enumerate(data["t2_ids"])

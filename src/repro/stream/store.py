@@ -220,6 +220,10 @@ class FlowStore:
         A damaged file (truncated spill, flipped bits) raises
         :class:`CaptureError` naming the window, never a bare decoder
         error.
+
+        Columns added to the schema after a capture was written (the
+        session/QoE quartet) are backfilled with their sentinel fill
+        value, so old capture directories keep reading cleanly.
         """
         path = self.window_path(index)
         if columns is not None:
@@ -230,9 +234,22 @@ class FlowStore:
         def _read(ticket):
             ticket.check("read")
             with np.load(path, allow_pickle=False) as data:
-                if columns is not None:
-                    return {name: data[name] for name in columns}
-                return {name: data[name] for name in _ARRAY_FIELDS}
+                present = set(data.files)
+                wanted = columns if columns is not None else _ARRAY_FIELDS
+                loaded: Dict[str, np.ndarray] = {}
+                n_rows = -1
+                for name in wanted:
+                    if name in present:
+                        loaded[name] = data[name]
+                    else:
+                        if n_rows < 0:
+                            n_rows = len(data["ts_start"])
+                        loaded[name] = np.full(
+                            n_rows,
+                            FlowFrame.COLUMN_FILL[name],
+                            dtype=FlowFrame.COLUMN_DTYPES[name],
+                        )
+                return loaded
 
         try:
             loaded = self.injector.run_io("store.read_window", _read)

@@ -35,8 +35,15 @@ from repro.parallel import (
 from repro.satcom.beams import BeamMap, build_default_beam_map
 from repro.satcom.delay_model import SatelliteRttModel
 from repro.satcom.delaysource import DelaySource, StaticDelaySource
+from repro.traffic.distributions import (
+    DAY_FACTOR_BINGE,
+    Distribution,
+    Mixture,
+    unit_lognormal,
+)
 from repro.traffic.profiles import country_profile
 from repro.traffic.services import SERVICES, L7_ORDER, Service, ServiceCategory
+from repro.traffic.sessions import VideoQoeConfig, VideoSessionModel
 from repro.traffic.subscribers import (
     Population,
     SubscriberType,
@@ -51,6 +58,30 @@ _VIDEO_BITRATES_MBPS = np.array([2.5, 4.0, 8.0, 16.0])
 # largest float32 below 24.0: hours sampled in [0, 24) as float64 can
 # round up to exactly 24.0 when narrowed to float32
 _HOUR_MAX_F4 = np.nextafter(np.float32(24.0), np.float32(0.0))
+
+
+@dataclass
+class TrafficModel:
+    """Resolved traffic-model overrides threaded into the generator.
+
+    The default instance reproduces the legacy hard-coded draws
+    bit-for-bit: no per-service overrides, the binge day factor as a
+    two-component :class:`Mixture`, and no video sessions. Scenarios
+    build non-default instances from their digest-bearing ``traffic``
+    section (:meth:`repro.scenario.Scenario.build_traffic_model`).
+    """
+
+    category_weights: Dict[ServiceCategory, float] = field(default_factory=dict)
+    """Per-category flow-count multipliers (absent = 1.0, untouched)."""
+    size_dists: Dict[str, Distribution] = field(default_factory=dict)
+    """Per-service downlink flow-size overrides (bytes)."""
+    flows_dists: Dict[str, Distribution] = field(default_factory=dict)
+    """Per-service flows-per-active-day overrides (absolute counts)."""
+    day_factor: Mixture = DAY_FACTOR_BINGE
+    """Customer-day size multiplier; first component is the binge mode
+    whose weight the per-subscriber-type binge probability overrides."""
+    qoe: Optional[VideoQoeConfig] = None
+    """Video session model (None = no sessions, zero extra draws)."""
 
 
 @dataclass
@@ -86,8 +117,10 @@ class WorkloadGenerator:
         population: Optional[Population] = None,
         plan_mix: Optional[Dict[str, Dict[str, float]]] = None,
         delay_source: Optional[DelaySource] = None,
+        traffic: Optional[TrafficModel] = None,
     ) -> None:
         self.config = config or WorkloadConfig()
+        self.traffic = traffic or TrafficModel()
         self.rng = np.random.default_rng(self.config.seed)
         if delay_source is not None and rtt_model is not None:
             raise ValueError("pass delay_source or rtt_model, not both")
@@ -146,6 +179,15 @@ class WorkloadGenerator:
         self._site_base_rtt = np.array(
             [self.internet.base_ground_rtt_ms(SERVER_SITES[s]) for s in self.sites_pool],
             dtype=np.float64,
+        )
+        self._jitter_noise = unit_lognormal(self.internet.latency.jitter_sigma)
+        self._video_service_idx = np.array(
+            [
+                i
+                for i, name in enumerate(self.services_pool)
+                if SERVICES[name].category == ServiceCategory.VIDEO
+            ],
+            dtype=np.int64,
         )
 
     def _build_customer_arrays(self) -> None:
@@ -289,6 +331,19 @@ class WorkloadGenerator:
                 )
                 if dns_chunk is not None:
                     chunks.append(dns_chunk)
+            if self.traffic.qoe is not None:
+                # Video sessions draw from the same per-(shard, window)
+                # stream, after the country's flow/DNS chunks; a
+                # session is contained in one (customer, day), so
+                # day-aligned windows never split it. When qoe is off
+                # this branch consumes zero draws — baseline captures
+                # stay bit-identical.
+                session_chunk = self._generate_session_chunk(
+                    country, shard_ids, profile, rng=rng,
+                    day_lo=day_lo, day_hi=day_hi,
+                )
+                if session_chunk is not None:
+                    chunks.append(session_chunk)
         if not chunks:
             return None
         columns = {
@@ -369,14 +424,23 @@ class WorkloadGenerator:
             * intensity**0.4
             * self.config.flow_scale
         )
-        n_flows = np.maximum(
-            1,
-            np.round(
+        # Flows per active customer-day. The default path multiplies by
+        # unit-median noise — bitwise-equal to the legacy bare
+        # ``rng.lognormal(0, flows_sigma)`` draw — while a scenario
+        # override replaces the median*noise product wholesale.
+        flows_dist = self.traffic.flows_dists.get(svc.name)
+        if flows_dist is not None:
+            raw_flows = flow_int * flows_dist.sample(rng, len(pair_cust))
+        else:
+            raw_flows = (
                 svc.flows_median
                 * flow_int
-                * rng.lognormal(0.0, svc.flows_sigma, len(pair_cust))
-            ).astype(np.int64),
-        )
+                * svc.flows_noise.sample(rng, len(pair_cust))
+            )
+        weight = self.traffic.category_weights.get(svc.category)
+        if weight is not None and weight != 1.0:
+            raw_flows = raw_flows * weight
+        n_flows = np.maximum(1, np.round(raw_flows).astype(np.int64))
         flow_cust = np.repeat(pair_cust, n_flows)
         flow_day = np.repeat(pair_day, n_flows)
         total = len(flow_cust)
@@ -387,26 +451,34 @@ class WorkloadGenerator:
         l7 = svc.sample_protocol(rng, total).astype(np.int8)
         # Day-to-day burstiness: a small fraction of customer-days are
         # binges (community APs more often) — these drive the
-        # heavy-hitter tails of Figures 5b/5c.
+        # heavy-hitter tails of Figures 5b/5c. The day factor is a
+        # two-mode lognormal Mixture whose first (binge) component's
+        # weight is overridden per subscriber type.
         n_pairs = len(pair_cust)
         binge_prob = np.where(
             self.cust_type[pair_cust] == int(SubscriberType.COMMUNITY), 0.10, 0.035
         )
-        binge = rng.random(n_pairs) < binge_prob
-        day_factor = np.repeat(
-            rng.lognormal(0.0, 0.5, n_pairs) * np.where(binge, 8.0, 1.0),
-            n_flows,
-        )
+        if len(self.traffic.day_factor.components) == 2:
+            day_draw = self.traffic.day_factor.sample(
+                rng, n_pairs, first_weight=binge_prob
+            )
+        else:
+            day_draw = self.traffic.day_factor.sample(rng, n_pairs)
+        day_factor = np.repeat(day_draw, n_flows)
         size_scale = self.cust_size_scale[flow_cust] * intensity**0.6 * day_factor
-        bytes_down = svc.size.sample_down(rng, total) * size_scale
+        size_dist = self.traffic.size_dists.get(svc.name)
+        if size_dist is not None:
+            bytes_down = size_dist.sample(rng, total) * size_scale
+        else:
+            bytes_down = svc.size.sample_down(rng, total) * size_scale
         bytes_up = svc.size.sample_up(bytes_down, rng)
 
         domains = self._service_domains[svc.name]
         domain_idx = domains[rng.integers(0, len(domains), total)]
 
         site_idx = self._select_sites(svc, country, flow_cust, total, rng=rng)
-        ground_rtt = self._site_base_rtt[site_idx] * rng.lognormal(
-            0.0, self.internet.latency.jitter_sigma, total
+        ground_rtt = self._site_base_rtt[site_idx] * self._jitter_noise.sample(
+            rng, total
         )
 
         utilization = self.beam_map.utilization_bulk(
@@ -582,6 +654,112 @@ class WorkloadGenerator:
             site_idx=np.full(total, -1, dtype=np.int16),
         )
 
+    def _generate_session_chunk(
+        self,
+        country: str,
+        cust_ids: np.ndarray,
+        profile,
+        rng: Optional[np.random.Generator] = None,
+        day_lo: int = 0,
+        day_hi: Optional[int] = None,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """ABR video sessions for one country's shard customers.
+
+        Each session's stochastic inputs (count, arrival hour, service,
+        duration, effective capacity, domain) are drawn here; the
+        chunk schedule and QoE come from the deterministic
+        :class:`VideoSessionModel`. Every chunk row carries the
+        session id and the session's QoE metrics, so any sharding or
+        windowing of the frame can reconstruct per-session QoE by
+        deduplicating on ``session_id``.
+        """
+        rng = rng if rng is not None else self.rng
+        qoe = self.traffic.qoe
+        if qoe is None or len(self._video_service_idx) == 0:
+            return None
+        day_hi = self.config.days if day_hi is None else day_hi
+        days = day_hi - day_lo
+        pair_cust = np.tile(cust_ids, days)
+        pair_day = np.repeat(np.arange(day_lo, day_hi), len(cust_ids))
+        counts = rng.poisson(qoe.sessions_per_day, len(pair_cust))
+        n_sessions = int(counts.sum())
+        if n_sessions == 0:
+            return None
+        sess_cust = np.repeat(pair_cust, counts)
+        sess_day = np.repeat(pair_day, counts)
+        # ordinal of each session within its (customer, day) pair →
+        # a deterministic, partition-independent session id
+        ordinal = np.arange(n_sessions) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        session_ids = (
+            (sess_cust.astype(np.int64) + 1) * 1_000_000
+            + sess_day.astype(np.int64) * 1_000
+            + ordinal
+        )
+
+        hour_local, hour_utc = self._sample_hours(profile, n_sessions, rng=rng)
+        svc_pick = self._video_service_idx[
+            rng.integers(0, len(self._video_service_idx), n_sessions)
+        ]
+        duration = np.clip(
+            qoe.duration.sample(rng, n_sessions), qoe.chunk_s, 4.0 * 3600.0
+        )
+        utilization = self.beam_map.utilization_bulk(
+            self.cust_beam_peak[sess_cust], hour_local, profile.continent
+        )
+        congestion = np.clip((utilization - 0.55) / 0.45, 0.0, 1.0)
+        capacity = (
+            self.cust_plan_down[sess_cust].astype(np.float64)
+            * 1e6
+            * rng.uniform(0.55, 0.95, n_sessions)
+            * (1.0 - 0.55 * congestion)
+        )
+        capacity = np.maximum(capacity, 200_000.0)
+
+        model = VideoSessionModel(qoe)
+        parts: List[Dict[str, np.ndarray]] = []
+        for i in range(n_sessions):
+            result = model.simulate(capacity[i], duration[i])
+            n_chunks = len(result.chunk_bytes)
+            svc_idx = int(svc_pick[i])
+            domains = self._service_domains[self.services_pool[svc_idx]]
+            domain = int(domains[int(rng.integers(0, len(domains)))])
+            base_ts = sess_day[i] * SECONDS_PER_DAY + hour_utc[i] * 3600.0
+            ts = base_ts + result.start_offset_s
+            cust = np.full(n_chunks, sess_cust[i], dtype=np.int64)
+            parts.append(
+                self._make_chunk(
+                    ts=ts,
+                    day=np.full(n_chunks, sess_day[i], dtype=np.int64),
+                    hour_utc=(ts % SECONDS_PER_DAY) / 3600.0,
+                    flow_cust=cust,
+                    l7=np.full(n_chunks, _HTTPS_IDX, dtype=np.int8),
+                    service_idx=np.full(n_chunks, svc_idx, dtype=np.int16),
+                    domain_idx=np.full(n_chunks, domain, dtype=np.int32),
+                    bytes_up=result.chunk_bytes * 0.01,
+                    bytes_down=result.chunk_bytes,
+                    duration=result.chunk_time_s.astype(np.float32),
+                    sat_rtt=np.full(n_chunks, np.nan, dtype=np.float32),
+                    ground_rtt=np.full(n_chunks, np.nan, dtype=np.float32),
+                    resolver_idx=np.full(n_chunks, -1, dtype=np.int16),
+                    dns_response=np.full(n_chunks, np.nan, dtype=np.float32),
+                    site_idx=np.full(n_chunks, -1, dtype=np.int16),
+                    session_id=np.full(n_chunks, session_ids[i], dtype=np.int64),
+                    qoe_rebuffer=np.full(
+                        n_chunks, result.rebuffer_ratio, dtype=np.float32
+                    ),
+                    qoe_level=np.full(n_chunks, result.mean_level, dtype=np.float32),
+                    qoe_switches=np.full(n_chunks, result.switches, dtype=np.int16),
+                )
+            )
+        if not parts:
+            return None
+        return {
+            key: np.concatenate([part[key] for part in parts])
+            for key in parts[0]
+        }
+
     def _make_chunk(
         self,
         ts: np.ndarray,
@@ -599,7 +777,20 @@ class WorkloadGenerator:
         resolver_idx: np.ndarray,
         dns_response: np.ndarray,
         site_idx: np.ndarray,
+        session_id: Optional[np.ndarray] = None,
+        qoe_rebuffer: Optional[np.ndarray] = None,
+        qoe_level: Optional[np.ndarray] = None,
+        qoe_switches: Optional[np.ndarray] = None,
     ) -> Dict[str, np.ndarray]:
+        total = len(ts)
+        if session_id is None:
+            session_id = np.full(total, -1, dtype=np.int64)
+        if qoe_rebuffer is None:
+            qoe_rebuffer = np.full(total, np.nan, dtype=np.float32)
+        if qoe_level is None:
+            qoe_level = np.full(total, np.nan, dtype=np.float32)
+        if qoe_switches is None:
+            qoe_switches = np.full(total, -1, dtype=np.int16)
         return {
             "ts_start": ts.astype(np.float64),
             "day": day.astype(np.int32),
@@ -620,4 +811,8 @@ class WorkloadGenerator:
             "dns_response_ms": dns_response,
             "site_idx": site_idx,
             "plan_down_mbps": self.cust_plan_down[flow_cust],
+            "session_id": session_id.astype(np.int64),
+            "qoe_rebuffer": qoe_rebuffer.astype(np.float32),
+            "qoe_level": qoe_level.astype(np.float32),
+            "qoe_switches": qoe_switches.astype(np.int16),
         }

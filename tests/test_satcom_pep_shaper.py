@@ -103,6 +103,41 @@ def test_invalid_construction():
         TokenBucketShaper(rate_bps=100, burst_bytes=0)
 
 
+def test_fractional_sizes_accepted():
+    """Workload callers pass numpy float64 chunk sizes; fractional
+    bytes must drain tokens exactly, not truncate."""
+    shaper = TokenBucketShaper(rate_bps=8_000, burst_bytes=1_000)
+    assert shaper.delay_for(0.5, now=0.0) == 0.0
+    assert shaper.tokens == pytest.approx(999.5)
+    assert shaper.delay_for(np.float64(0.25), now=0.0) == 0.0
+    assert shaper.tokens == pytest.approx(999.25)
+
+
+def test_zero_size_is_free():
+    shaper = TokenBucketShaper(rate_bps=8_000, burst_bytes=1_000)
+    before = shaper.tokens
+    assert shaper.delay_for(0.0, now=0.0) == 0.0
+    assert shaper.tokens == before
+
+
+def test_fractional_debt_paid_at_rate():
+    shaper = TokenBucketShaper(rate_bps=8_000, burst_bytes=1_000)  # 1000 B/s
+    shaper.delay_for(1_000, now=0.0)
+    assert shaper.delay_for(0.5, now=0.0) == pytest.approx(0.0005)
+
+
+def test_negative_nan_and_inf_sizes_rejected():
+    shaper = TokenBucketShaper(rate_bps=8_000, burst_bytes=1_000)
+    with pytest.raises(ValueError, match="non-negative"):
+        shaper.delay_for(-1, now=0.0)
+    with pytest.raises(ValueError, match="non-negative"):
+        shaper.delay_for(float("nan"), now=0.0)
+    with pytest.raises(ValueError, match="finite"):
+        shaper.delay_for(float("inf"), now=0.0)
+    # rejected sizes never mutate the bucket
+    assert shaper.tokens == 1_000
+
+
 @given(st.lists(st.integers(min_value=1, max_value=5_000), min_size=5, max_size=40))
 def test_long_run_rate_never_exceeds_configured(sizes):
     """Property: cumulative release time respects the sustained rate."""

@@ -581,3 +581,114 @@ def test_cli_rejects_non_positive_counts(command, flag, capsys):
         main(argv)
     assert excinfo.value.code == 2
     assert flag in capsys.readouterr().err
+
+
+# --- traffic section --------------------------------------------------------
+
+
+BASELINE_GEO_DIGEST = "100b2183167d74dcb6275038"
+
+
+def test_default_traffic_is_digest_neutral():
+    """The all-defaults traffic section contributes nothing to the
+    content payload — pre-refactor digests stay pinned."""
+    assert get_scenario("baseline-geo").digest() == BASELINE_GEO_DIGEST
+    assert "traffic" not in Scenario().content_payload()
+
+
+def test_traffic_overrides_change_digest():
+    base = get_scenario("baseline-geo")
+    sized = base.with_overrides(
+        {"traffic.size_overrides.Netflix": "pareto(500000.0,1.3)"}
+    )
+    weighted = base.with_overrides({"traffic.category_weights.video": 2.0})
+    qoe = base.with_overrides({"traffic.qoe.enabled": True})
+    digests = {base.digest(), sized.digest(), weighted.digest(), qoe.digest()}
+    assert len(digests) == 4
+    assert "traffic" in qoe.content_payload()
+
+
+def test_video_presets_registered_with_distinct_digests():
+    video = get_scenario("video-streaming")
+    shaped = get_scenario("shaped-vs-unshaped")
+    assert video.traffic.qoe.enabled
+    assert shaped.traffic.qoe.shape_bps == 4e6
+    assert video.digest() != shaped.digest()
+    # --set spelling of the preset lands on the same digest
+    assert (
+        get_scenario("baseline-geo")
+        .with_overrides({"traffic.qoe.enabled": "true"})
+        .digest()
+        == video.digest()
+    )
+
+
+@pytest.mark.parametrize(
+    "override, path_fragment",
+    [
+        ({"traffic.category_weights.gaming": 2.0}, "traffic.category_weights"),
+        ({"traffic.category_weights.video": -1.0}, "traffic.category_weights"),
+        ({"traffic.size_overrides.NotAService": "lognormal(1.0,1.0)"}, "traffic.size_overrides"),
+        ({"traffic.size_overrides.Netflix": "gaussian(0,1)"}, "traffic.size_overrides"),
+        ({"traffic.flows_overrides.Netflix": "lognormal(-1,1)"}, "traffic.flows_overrides"),
+        ({"traffic.qoe.sessions_per_day": -0.5}, "traffic.qoe"),
+        ({"traffic.qoe.chunk_s": 0}, "traffic.qoe"),
+        ({"traffic.qoe.max_buffer_s": 1.0}, "traffic.qoe"),
+        ({"traffic.qoe.bitrate_ladder_mbps": [4.0, 2.0]}, "traffic.qoe"),
+        ({"traffic.qoe.duration": "nope(1)"}, "traffic.qoe"),
+        ({"traffic.qoe.shape_bps": 0}, "traffic.qoe"),
+        ({"traffic.bogus_knob": 1}, "traffic"),
+    ],
+)
+def test_traffic_validation_errors_are_path_qualified(override, path_fragment):
+    with pytest.raises(ScenarioError) as excinfo:
+        get_scenario("baseline-geo").with_overrides(override)
+    assert path_fragment in str(excinfo.value)
+
+
+def test_build_traffic_model_resolves_specs():
+    from repro.traffic.distributions import Mixture, Pareto
+    from repro.traffic.services import ServiceCategory
+
+    scenario = get_scenario("baseline-geo").with_overrides(
+        {
+            "traffic.size_overrides.Netflix": "pareto(500000.0,1.3)",
+            "traffic.category_weights.video": 1.5,
+            "traffic.qoe.enabled": True,
+            "traffic.qoe.duration": "lognormal(600.0,0.5)",
+        }
+    )
+    model = scenario.build_traffic_model()
+    assert model.size_dists["Netflix"] == Pareto(500000.0, 1.3)
+    assert model.category_weights[ServiceCategory.VIDEO] == 1.5
+    assert isinstance(model.day_factor, Mixture)
+    assert model.qoe is not None
+    assert model.qoe.duration.median == 600.0
+    # defaults resolve to no qoe and no overrides
+    plain = get_scenario("baseline-geo").build_traffic_model()
+    assert plain.qoe is None
+    assert not plain.size_dists and not plain.flows_dists
+
+
+def test_traffic_section_round_trips_through_toml(tmp_path):
+    path = tmp_path / "video.toml"
+    path.write_text(
+        """
+name = "video-toml"
+description = "qoe via file"
+
+[traffic]
+category_weights = {video = 1.5}
+
+[traffic.qoe]
+enabled = true
+shape_bps = 4e6
+"""
+    )
+    scenario = load_scenario(path)
+    assert scenario.traffic.qoe.enabled
+    assert scenario.traffic.qoe.shape_bps == 4e6
+    model = scenario.build_traffic_model()
+    assert model.qoe.shape_bps == 4e6
+    payload = scenario.content_payload()
+    assert payload["traffic"]["qoe"]["enabled"] is True
