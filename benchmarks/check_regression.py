@@ -8,8 +8,8 @@ Usage::
 
 Collects guard rows from ``BENCH_parallel.json``'s ``regression_guard``
 block (a single row or a list of rows) and the ``regression_guards``
-lists of ``BENCH_stream.json`` and ``BENCH_fleet.json``, compares each
-row's benchmark mean against
+lists of ``BENCH_stream.json``, ``BENCH_fleet.json`` and
+``BENCH_serve.json``, compares each row's benchmark mean against
 ``baseline_mean_ms``, and exits non-zero when any slowdown exceeds that
 row's ``max_slowdown``. The factors are deliberately loose (2x+) so
 shared-runner noise does not flake the build; a genuine hot-path
@@ -34,6 +34,8 @@ def _load_guards() -> list[dict]:
     guards.extend(stream.get("regression_guards", []))
     fleet = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())
     guards.extend(fleet.get("regression_guards", []))
+    serve = json.loads((REPO_ROOT / "BENCH_serve.json").read_text())
+    guards.extend(serve.get("regression_guards", []))
     return guards
 
 

@@ -182,3 +182,49 @@ def test_micro_fleet_merge(benchmark, fleet_partition_dirs):
 
     rollup = benchmark(merge_partition_captures, fleet_partition_dirs)
     assert rollup.state_digest()
+
+
+@pytest.fixture(scope="module")
+def serve_endpoint(tmp_path_factory):
+    """A finished small capture behind a live ReportServer."""
+    from repro.serve import ServerThread, SnapshotHub, snapshot_from_capture
+    from repro.stream import StreamConfig, run_stream_capture
+    from repro.traffic.workload import WorkloadConfig
+
+    capture_dir = tmp_path_factory.mktemp("serve-bench") / "cap"
+    config = StreamConfig(
+        workload=WorkloadConfig(n_customers=48, days=2, seed=7, n_workers=1),
+        window_days=1,
+        compress=False,
+    )
+    run_stream_capture(config, capture_dir)
+    hub = SnapshotHub()
+    hub.publish(snapshot_from_capture(capture_dir))
+    server = ServerThread(hub)
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_serve_request(benchmark, serve_endpoint):
+    """One full /reports/fig2 HTTP exchange against a warm snapshot —
+    connection setup, registry dispatch, rollup render, response. Guards
+    the serve hot path (a regression here multiplies across every
+    dashboard poll of a live capture)."""
+    import http.client
+
+    def fetch():
+        conn = http.client.HTTPConnection(
+            serve_endpoint.host, serve_endpoint.port, timeout=10
+        )
+        try:
+            conn.request("GET", "/reports/fig2")
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    status, body = benchmark(fetch)
+    assert status == 200
+    assert b"fig2" in body or b"Country" in body

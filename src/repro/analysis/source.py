@@ -22,6 +22,7 @@ bare rollup state) and raises :class:`CaptureError` with a diagnosis
 from __future__ import annotations
 
 import json
+import time
 import zipfile
 from pathlib import Path
 from typing import ClassVar, Dict, List, Optional, Sequence, Union
@@ -194,7 +195,6 @@ def load_capture(path: Union[str, Path]) -> FlowSource:
     usable diagnosis for everything else.
     """
     from repro.stream.rollup import StreamRollup
-    from repro.stream.store import FlowStore
 
     path = Path(path)
     if not path.exists():
@@ -203,22 +203,7 @@ def load_capture(path: Union[str, Path]) -> FlowSource:
             "capture directory)"
         )
     if path.is_dir():
-        if not (path / "manifest.json").exists():
-            raise CaptureError(
-                f"{path} is a directory without a manifest.json — not a "
-                "stream capture (did the capture run at all?)"
-            )
-        try:
-            store = FlowStore.open(path)
-        except CaptureError:
-            raise  # already diagnosed by the store
-        except json.JSONDecodeError as exc:
-            raise CaptureError(
-                f"bad capture manifest in {path}: {exc}"
-            ) from exc
-        except ValueError as exc:
-            raise CaptureError(f"cannot open capture {path}: {exc}") from exc
-        return StoreSource(store)
+        return _open_capture_dir(path)
 
     try:
         with np.load(path, allow_pickle=True) as data:
@@ -253,3 +238,70 @@ def load_capture(path: Union[str, Path]) -> FlowSource:
         f"{path} is an npz but neither a frame capture (no pool_* members) "
         "nor a rollup state (no meta member)"
     )
+
+
+def _open_capture_dir(path: Path) -> "StoreSource":
+    """Open a capture directory, tolerating the live-capture race.
+
+    A *running* capture writes ``manifest.json`` atomically
+    (write-temp + rename), but a reader can still catch the gap before
+    the very first rename lands — ``exists()`` said yes (or no) a
+    moment ago, the open/parse says otherwise. Those transient shapes
+    (``FileNotFoundError``, a JSON decode error) are retried once
+    after a short sleep; if the directory still won't open but its
+    ``checkpoint.json`` does, the diagnosis becomes "capture in
+    progress (N% complete)" via :meth:`Checkpoint.progress` instead of
+    a misleading corruption report.
+    """
+    from repro.stream.store import FlowStore
+
+    last_exc: Optional[Exception] = None
+    for attempt in range(2):
+        try:
+            if not (path / "manifest.json").exists():
+                raise FileNotFoundError(f"no manifest.json in {path}")
+            return StoreSource(FlowStore.open(path))
+        except (FileNotFoundError, json.JSONDecodeError) as exc:
+            # The transient race shapes: retry once, then diagnose.
+            last_exc = exc
+            if attempt == 0:
+                time.sleep(0.05)
+                continue
+        except CaptureError as exc:
+            # The store diagnoses a torn manifest itself; when the tear
+            # is a JSON decode error it may be the same transient race,
+            # so it earns the same single retry before we re-raise.
+            if not isinstance(exc.__cause__, json.JSONDecodeError):
+                raise
+            last_exc = exc
+            if attempt == 0:
+                time.sleep(0.05)
+                continue
+        except ValueError as exc:
+            raise CaptureError(f"cannot open capture {path}: {exc}") from exc
+
+    # Still unreadable after the retry. A live checkpoint turns this
+    # into a progress report rather than a corruption diagnosis.
+    try:
+        from repro.stream.checkpoint import load_checkpoint
+
+        checkpoint = load_checkpoint(path)
+    except CaptureError:
+        checkpoint = None
+    if checkpoint is not None:
+        raise CaptureError(
+            f"capture in progress ({checkpoint.progress():.0%} complete, "
+            f"{checkpoint.windows_done}/{checkpoint.n_windows} windows): "
+            f"{path} is mid-write ({last_exc}); retry shortly or query it "
+            "live with `repro serve`"
+        ) from last_exc
+    if isinstance(last_exc, CaptureError):
+        raise last_exc  # the store's own torn-manifest diagnosis
+    if isinstance(last_exc, json.JSONDecodeError):
+        raise CaptureError(
+            f"bad capture manifest in {path}: {last_exc}"
+        ) from last_exc
+    raise CaptureError(
+        f"{path} is a directory without a manifest.json — not a "
+        "stream capture (did the capture run at all?)"
+    ) from last_exc

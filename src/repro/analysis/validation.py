@@ -81,11 +81,17 @@ class Scorecard:
         return table + f"\n{self.passed}/{self.total} checks within tolerance"
 
 
-def build_scorecard(frame: FlowFrame) -> Scorecard:
-    """Evaluate the headline claims against ``frame``."""
+def _headline_checks(t1, f2, f4, f5, f8, f9, f10, f12) -> List[Check]:
+    """The claim list, shared by the frame and rollup scorecards.
+
+    Each argument is a computed report result; the frame results and
+    their rollup views expose the same query surface, so one check
+    builder serves both ``repro scorecard`` and the live ``/scorecard``
+    endpoint. ``f12`` is ``None`` for QoE-less captures, keeping the
+    original check list byte-for-byte.
+    """
     checks: List[Check] = []
 
-    t1 = table1_protocols.compute(frame)
     for label, paper, tol in (
         ("tcp/https", 56.0, 8.0),
         ("udp/quic", 19.6, 6.0),
@@ -98,7 +104,6 @@ def build_scorecard(frame: FlowFrame) -> Scorecard:
             Check(f"Table1 {label} volume share", paper, t1.share(label), tol, " %")
         )
 
-    f2 = fig2_country.compute(frame)
     congo_vol, congo_cust = f2.shares("Congo")
     spain_vol, spain_cust = f2.shares("Spain")
     checks.append(Check("Fig2 Congo customer share", 20.0, congo_cust, 4.0, " %"))
@@ -106,16 +111,13 @@ def build_scorecard(frame: FlowFrame) -> Scorecard:
     checks.append(Check("Fig2 Spain customer share", 16.0, spain_cust, 4.0, " %"))
     checks.append(Check("Fig2 Spain volume share", 10.0, spain_vol, 6.0, " %"))
 
-    f4 = fig4_diurnal.compute(frame)
     checks.append(Check("Fig4 Congo peak hour (UTC)", 9.0, f4.peak_hour_utc("Congo"), 2.0, "h"))
     checks.append(Check("Fig4 Spain peak hour (UTC)", 19.0, f4.peak_hour_utc("Spain"), 2.0, "h"))
 
-    f5 = fig5_volumes.compute(frame)
     checks.append(
         Check("Fig5a Europe <250 flows/day", 55.0, f5.idle_fraction("Spain") * 100, 12.0, " %")
     )
 
-    f8 = fig8_satellite_rtt.compute_fig8a(frame)
     checks.append(
         Check(
             "Fig8a Spain night <1s",
@@ -137,13 +139,11 @@ def build_scorecard(frame: FlowFrame) -> Scorecard:
     minimum = min(f8.minimum_ms(c) for c in f8.samples)
     checks.append(Check("Fig8a satellite RTT floor", 550.0, minimum, 40.0, " ms"))
 
-    f9 = fig9_ground_rtt.compute(frame)
     eu_below = np.mean(
         [f9.fraction_below(c, 40.0) for c in ("Spain", "UK", "Ireland")]
     )
     checks.append(Check("Fig9 Europe ground RTT <40ms", 80.0, eu_below * 100, 12.0, " %"))
 
-    f10 = fig10_dns.compute(frame)
     for resolver, paper in (
         ("Operator-EU", 3.98),
         ("Google", 21.98),
@@ -164,18 +164,66 @@ def build_scorecard(frame: FlowFrame) -> Scorecard:
         Check("Fig10 Google share in Congo", 85.68, f10.share("Google", "Congo"), 14.0, " %")
     )
 
-    # Figure 12 (extension) — only when the capture carries video
-    # sessions (traffic.qoe enabled); QoE-less captures keep the
-    # original check list byte-for-byte.
-    if np.any(frame.session_id >= 0):
-        f12 = fig12_video_qoe.compute(frame)
+    if f12 is not None:
         n = f12.total_sessions()
         rebuf = float(f12.rebuffer_sum.sum() / n) * 100.0
         level = float(f12.level_sum.sum() / n)
         checks.append(Check("Fig12 mean rebuffer ratio", 1.0, rebuf, 5.0, " %"))
         checks.append(Check("Fig12 mean resolution level", 2.5, level, 1.5, ""))
 
-    return Scorecard(checks=checks)
+    return checks
+
+
+def build_scorecard(frame: FlowFrame) -> Scorecard:
+    """Evaluate the headline claims against ``frame``."""
+    # Figure 12 (extension) — only when the capture carries video
+    # sessions (traffic.qoe enabled); QoE-less captures keep the
+    # original check list byte-for-byte.
+    f12 = (
+        fig12_video_qoe.compute(frame)
+        if np.any(frame.session_id >= 0)
+        else None
+    )
+    return Scorecard(
+        checks=_headline_checks(
+            table1_protocols.compute(frame),
+            fig2_country.compute(frame),
+            fig4_diurnal.compute(frame),
+            fig5_volumes.compute(frame),
+            fig8_satellite_rtt.compute_fig8a(frame),
+            fig9_ground_rtt.compute(frame),
+            fig10_dns.compute(frame),
+            f12,
+        )
+    )
+
+
+def build_scorecard_rollup(rollup) -> Scorecard:
+    """The scorecard from streaming sketches — the live ``/scorecard``.
+
+    Same claim list as :func:`build_scorecard`, evaluated through each
+    report's ``from_rollup`` path, so a running capture can grade
+    itself mid-flight without materializing flows. Quantile-backed
+    checks interpolate inside histogram bins (the documented rollup
+    tolerance), which the check tolerances absorb.
+    """
+    f12 = (
+        fig12_video_qoe.from_rollup(rollup)
+        if int(rollup.qoe_sessions.sum()) > 0
+        else None
+    )
+    return Scorecard(
+        checks=_headline_checks(
+            table1_protocols.from_rollup(rollup),
+            fig2_country.from_rollup(rollup),
+            fig4_diurnal.from_rollup(rollup),
+            fig5_volumes.from_rollup(rollup),
+            fig8_satellite_rtt.from_rollup(rollup),
+            fig9_ground_rtt.from_rollup(rollup),
+            fig10_dns.from_rollup(rollup),
+            f12,
+        )
+    )
 
 
 def render_delay_comparison(

@@ -9,6 +9,7 @@
                               --partitions 8 [--max-parallel 4] [--resume]
     python -m repro scenarios [--names | --json]
     python -m repro stream-report --dir capture/ --which fig2,fig5
+    python -m repro serve     --dir capture/ --port 8080 [--watch]
     python -m repro report    --dataset capture.npz --which table1,fig2
     python -m repro report    --scenario leo --which fig8
     python -m repro scorecard --dataset capture.npz
@@ -26,7 +27,11 @@ across partitioned worker processes and merges their rollups
 bit-identically to a single-process ``stream``; ``report`` regenerates the
 requested tables/figures; ``scorecard`` prints the calibration
 scorecard; ``packet-sim`` runs the Figure 1 packet-level validation;
-``errant`` fits and compares access-link profiles.
+``errant`` fits and compares access-link profiles. ``serve`` exposes a
+capture directory's reports over HTTP (``--watch`` republishes as a
+concurrently-running capture commits windows), and ``stream``/``fleet``
+take ``--serve-port`` to serve the live rollup in-process while they
+run (see :mod:`repro.serve`).
 
 ``generate``, ``stream``, ``fleet``, ``report`` and ``scorecard`` all
 take ``--scenario NAME|file.toml`` plus repeatable ``--set key=value``
@@ -156,6 +161,33 @@ def _workload_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _serve_parent() -> argparse.ArgumentParser:
+    """Shared live-serve flags of ``stream`` and ``fleet``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--serve-port",
+        type=_nonnegative_int,
+        default=None,
+        metavar="PORT",
+        help="serve live reports over HTTP while the capture runs "
+        "(0 = ephemeral port, printed at startup)",
+    )
+    parent.add_argument(
+        "--serve-host",
+        default=None,
+        metavar="HOST",
+        help="bind address for --serve-port (default 127.0.0.1)",
+    )
+    parent.add_argument(
+        "--serve-linger",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep serving this long after the capture completes",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     scenario_parent = _scenario_parent()
     workload_parent = _workload_parent()
+    serve_parent = _serve_parent()
 
     gen = sub.add_parser(
         "generate",
@@ -187,7 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stream = sub.add_parser(
         "stream",
         help="run a bounded-memory streaming capture into a directory",
-        parents=[scenario_parent, workload_parent],
+        parents=[scenario_parent, workload_parent, serve_parent],
     )
     stream.add_argument(
         "--window-days",
@@ -231,7 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "fleet",
         help="run a distributed multi-process capture (partitioned, "
         "healed, merged)",
-        parents=[scenario_parent, workload_parent],
+        parents=[scenario_parent, workload_parent, serve_parent],
     )
     fleet.add_argument("--dir", required=True, help="fleet directory")
     fleet.add_argument(
@@ -314,6 +347,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--which",
         default="all",
         help=f"comma list from {{{rollup_reports}}} or 'all'",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a capture directory's reports over HTTP (live-"
+        "updating with --watch)",
+    )
+    serve.add_argument(
+        "--dir", required=True, help="capture directory or rollup .npz"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=0,
+        help="TCP port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll the capture's checkpoint and republish when new "
+        "windows commit (serve a capture another process is running)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long (default: serve until interrupted)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="--watch checkpoint poll cadence (default 0.25)",
     )
 
     rep = sub.add_parser(
@@ -421,6 +490,13 @@ def _scenario_from_args(
         flags["execution.pipeline_depth"] = args.pipeline_depth
     if getattr(args, "engine", None) is not None:
         flags["execution.engine"] = args.engine
+    if getattr(args, "serve_port", None) is not None:
+        flags["serve.enabled"] = True
+        flags["serve.port"] = args.serve_port
+    if getattr(args, "serve_host", None) is not None:
+        flags["serve.host"] = args.serve_host
+    if getattr(args, "serve_linger", None) is not None:
+        flags["serve.linger_s"] = args.serve_linger
     return scenario.with_overrides(flags, source="flag")
 
 
@@ -473,11 +549,51 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_live_server(spec):
+    """A running (hub, server) pair for a ``serve``-enabled scenario."""
+    from repro.serve import ServerThread, SnapshotHub
+
+    hub = SnapshotHub()
+    server = ServerThread(
+        hub,
+        host=spec.host,
+        port=spec.port,
+        max_inflight=spec.max_inflight,
+    ).start()
+    print(
+        f"serving live reports on http://{server.host}:{server.port} "
+        "(/reports, /progress, /telemetry, /scorecard, /capabilities)",
+        file=sys.stderr,
+    )
+    return hub, server
+
+
+def _finish_live_server(server, linger_s: float) -> None:
+    """Linger (so pollers catch the final state), stop, print counters."""
+    import time
+
+    from repro.serve import render_serve_telemetry
+
+    if linger_s > 0:
+        print(
+            f"capture done; serving final state for {linger_s:g} s more",
+            file=sys.stderr,
+        )
+        time.sleep(linger_s)
+    server.stop()
+    if server.stats.requests_total:
+        print(render_serve_telemetry(server.stats))
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.analysis.source import CaptureError
     from repro.stream import render_telemetry, run_stream_capture
 
-    config = _scenario_from_args(args).stream_config()
+    scenario = _scenario_from_args(args)
+    config = scenario.stream_config()
+    hub = server = None
+    if scenario.serve.enabled:
+        hub, server = _start_live_server(scenario.serve)
     try:
         result = run_stream_capture(
             config,
@@ -489,10 +605,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{t.flows:,} flows in {t.busy_seconds:.1f} s",
                 file=sys.stderr,
             ),
+            snapshot_hub=hub,
         )
     except CaptureError as exc:
+        if server is not None:
+            server.stop()
         print(f"cannot run capture: {exc}", file=sys.stderr)
         return 2
+    if server is not None:
+        _finish_live_server(server, scenario.serve.linger_s)
     print(render_telemetry(result.telemetry))
     if result.fault_stats.faults or result.fault_stats.retries:
         print(result.fault_stats.summary())
@@ -510,6 +631,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import render_fleet_telemetry, run_fleet_capture
 
     scenario = _scenario_from_args(args)
+    hub = server = None
+    if scenario.serve.enabled:
+        hub, server = _start_live_server(scenario.serve)
     try:
         result = run_fleet_capture(
             scenario,
@@ -520,10 +644,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             merge_tree=args.merge_tree,
             resume=args.resume,
             on_event=lambda line: print(line, file=sys.stderr),
+            snapshot_hub=hub,
         )
     except (CaptureError, FileExistsError, FileNotFoundError) as exc:
+        if server is not None:
+            server.stop()
         print(f"cannot run fleet capture: {exc}", file=sys.stderr)
         return 2
+    if server is not None:
+        _finish_live_server(server, scenario.serve.linger_s)
     print(render_fleet_telemetry(result.telemetry_rows))
     if result.fault_stats.faults or result.fault_stats.retries:
         print(result.fault_stats.summary())
@@ -600,6 +729,69 @@ def _cmd_stream_report(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     return _run_reports(source, args.which, prefer="rollup")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.source import CaptureError
+    from repro.serve import (
+        ServerThread,
+        SnapshotHub,
+        render_serve_telemetry,
+        snapshot_from_capture,
+    )
+
+    hub = SnapshotHub()
+    try:
+        snapshot = snapshot_from_capture(args.dir)
+    except CaptureError as exc:
+        print(f"cannot serve capture: {exc}", file=sys.stderr)
+        return 2
+    hub.publish(snapshot)
+    try:
+        server = ServerThread(hub, host=args.host, port=args.port).start()
+    except (RuntimeError, OSError) as exc:
+        print(f"cannot start server: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {args.dir} on http://{server.host}:{server.port} "
+        f"({snapshot.windows_done}/{snapshot.n_windows} windows, "
+        f"{snapshot.progress:.0%}, digest {snapshot.digest[:12]})"
+        + (", watching for new commits" if args.watch else ""),
+        file=sys.stderr,
+    )
+    deadline = (
+        time.monotonic() + args.duration if args.duration is not None else None
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            wait = args.poll_interval
+            if deadline is not None:
+                wait = min(wait, max(0.0, deadline - time.monotonic()))
+            time.sleep(wait)
+            if not args.watch:
+                continue
+            try:
+                fresh = snapshot_from_capture(args.dir)
+            except CaptureError:
+                continue  # mid-commit; keep serving the last snapshot
+            if fresh.digest != snapshot.digest:
+                snapshot = fresh
+                hub.publish(snapshot)
+                print(
+                    f"republished: {snapshot.windows_done}/"
+                    f"{snapshot.n_windows} windows "
+                    f"({snapshot.progress:.0%}, digest "
+                    f"{snapshot.digest[:12]})",
+                    file=sys.stderr,
+                )
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    if server.stats.requests_total:
+        print(render_serve_telemetry(server.stats))
+    return 0
 
 
 def _source_from_args(args: argparse.Namespace):
@@ -749,6 +941,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "scenarios": _cmd_scenarios,
     "stream-report": _cmd_stream_report,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "scorecard": _cmd_scorecard,
     "packet-sim": _cmd_packet_sim,

@@ -61,6 +61,7 @@ from repro.stream.rollup import StreamRollup
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.scenario import Scenario
+    from repro.serve.snapshot import SnapshotHub
 
 FLEET_SCHEMA = 1
 FLEET_MANIFEST = "fleet.json"
@@ -310,6 +311,86 @@ class _LiveWorker:
     last_change: float
 
 
+class _FleetPublisher:
+    """Publishes the coordinator's merged partial state to a serve hub.
+
+    Every partition's committed prefix is itself consistent (its
+    checkpoint digest covers it); merging the loadable, digest-verified
+    prefixes gives the fleet-level snapshot the live server renders.
+    Publication is cheap relative to the capture but not free (it
+    loads and merges every partition rollup), so it is rate-limited and
+    only fires when the fleet-wide committed window count moves.
+    """
+
+    def __init__(
+        self,
+        hub: "SnapshotHub",
+        plan: FleetPlan,
+        fleet_dir: Path,
+        min_interval_s: float = 0.25,
+    ) -> None:
+        self.hub = hub
+        self.plan = plan
+        self.fleet_dir = fleet_dir
+        self.min_interval_s = min_interval_s
+        self._last_windows = -1
+        self._last_time = 0.0
+
+    def maybe_publish(self, states: List[PartitionState]) -> None:
+        from repro.serve.snapshot import RollupSnapshot
+
+        total_done = sum(state.windows_done for state in states)
+        now = time.monotonic()
+        if total_done == self._last_windows:
+            return
+        if now - self._last_time < self.min_interval_s and total_done > 0:
+            return
+        merged: Optional[StreamRollup] = None
+        windows_covered = 0
+        for spec in self.plan.partitions:
+            directory = partition_dir(self.fleet_dir, spec)
+            checkpoint = _safe_checkpoint(directory)
+            if checkpoint is None or checkpoint.windows_done <= 0:
+                continue
+            try:
+                rollup = StreamRollup.load(directory / "rollup.npz")
+            except (CaptureError, FileNotFoundError):
+                continue
+            if rollup.state_digest() != checkpoint.rollup_digest:
+                continue  # mid-commit: skip this poll, catch it next tick
+            windows_covered += checkpoint.windows_done
+            merged = rollup if merged is None else merged.merge(rollup)
+        if merged is None:
+            return
+        self._last_windows = total_done
+        self._last_time = now
+        self.hub.publish(
+            RollupSnapshot(
+                rollup=merged,
+                digest=merged.state_digest(),
+                capture_key=self.plan.base_capture_key,
+                windows_done=windows_covered,
+                n_windows=self.plan.n_windows * self.plan.n_partitions,
+            )
+        )
+
+    def publish_final(self, rollup: StreamRollup, digest: str) -> None:
+        """The completed, merged capture — digest equals the merge
+        artifact's (and the single-process stream's)."""
+        from repro.serve.snapshot import RollupSnapshot
+
+        total = self.plan.n_windows * self.plan.n_partitions
+        self.hub.publish(
+            RollupSnapshot(
+                rollup=rollup.copy(),
+                digest=digest,
+                capture_key=self.plan.base_capture_key,
+                windows_done=total,
+                n_windows=total,
+            )
+        )
+
+
 def run_fleet_capture(
     scenario: "Scenario",
     fleet_dir: Union[str, Path],
@@ -322,6 +403,7 @@ def run_fleet_capture(
     faults: Optional[FaultPlan] = None,
     on_event: Optional[Callable[[str], None]] = None,
     poll_interval_s: float = 0.05,
+    snapshot_hub: Optional["SnapshotHub"] = None,
 ) -> FleetResult:
     """Run (or resume) a distributed fleet capture into ``fleet_dir``.
 
@@ -337,6 +419,12 @@ def run_fleet_capture(
     single-process ``repro stream`` of the same scenario — for any
     partition count, any ``max_parallel``, any merge-tree shape, and
     across worker crashes and heals.
+
+    ``snapshot_hub`` (a :class:`repro.serve.SnapshotHub`) receives the
+    coordinator's merged *partial* state as partitions commit windows
+    — each publication merges the digest-verified committed prefixes —
+    and the final merged rollup on completion, so ``repro fleet
+    --serve-port`` serves the fleet exactly like a live stream.
     """
     fleet_dir = Path(fleet_dir)
     if merge_tree not in MERGE_TREE_SHAPES:
@@ -415,6 +503,14 @@ def run_fleet_capture(
     _write_manifest(fleet_dir, plan, states, "running", merge_tree, injector)
     injector.kill_point("fleet:planned")
 
+    publisher: Optional[_FleetPublisher] = None
+    if snapshot_hub is not None:
+        publisher = _FleetPublisher(
+            snapshot_hub, plan, fleet_dir,
+            min_interval_s=scenario.serve.publish_interval_s,
+        )
+        publisher.maybe_publish(states)  # resumed prefixes serve at once
+
     merged_path = fleet_dir / MERGED_ROLLUP
     if (
         resume
@@ -425,6 +521,8 @@ def run_fleet_capture(
     ):
         rollup = StreamRollup.load(merged_path)
         if rollup.state_digest() == manifest.get("merged_digest"):
+            if publisher is not None:
+                publisher.publish_final(rollup, rollup.state_digest())
             rows = fleet_telemetry_rows(plan, states, fleet_dir)
             _write_manifest(
                 fleet_dir, plan, states, "complete", merge_tree, injector,
@@ -451,7 +549,7 @@ def run_fleet_capture(
         _dispatch_forked(
             scenario, plan, states, pending, fleet_dir,
             max_parallel, timeout, max_heals, poll_interval_s,
-            injector, fault_plan, merge_tree, emit,
+            injector, fault_plan, merge_tree, emit, publisher,
         )
     else:  # pragma: no cover - platforms without fork
         # Sequential in-process fallback: same bytes, no crash
@@ -466,6 +564,8 @@ def run_fleet_capture(
             )
             state.status = "done"
             state.windows_done = result.checkpoint.windows_done
+            if publisher is not None:
+                publisher.maybe_publish(states)
             _write_manifest(
                 fleet_dir, plan, states, "running", merge_tree, injector
             )
@@ -480,6 +580,8 @@ def run_fleet_capture(
     )
     rollup.save(merged_path, injector=injector)
     digest = rollup.state_digest()
+    if publisher is not None:
+        publisher.publish_final(rollup, digest)
     rows = fleet_telemetry_rows(plan, states, fleet_dir)
     atomic_write_bytes(
         fleet_dir / FLEET_TELEMETRY,
@@ -518,6 +620,7 @@ def _dispatch_forked(
     fault_plan: Optional[FaultPlan],
     merge_tree: str,
     emit: Callable[[str], None],
+    publisher: Optional["_FleetPublisher"] = None,
 ) -> None:
     """The bounded worker pool: spawn, poll progress, reap, heal."""
     context = multiprocessing.get_context("fork")
@@ -627,6 +730,10 @@ def _dispatch_forked(
                     f"{spec.name}: worker died (exit {exitcode}) — healing "
                     f"via resume ({state.heals}/{max_heals})"
                 )
+            if publisher is not None:
+                # Serve whatever prefix the partitions have committed so
+                # far; the publisher skips mid-commit partition states.
+                publisher.maybe_publish(states)
     finally:
         for worker in live.values():  # abort path: no orphans
             if worker.process.is_alive():

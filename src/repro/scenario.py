@@ -641,6 +641,43 @@ class FaultsSpec:
         )
 
 
+@dataclass(frozen=True)
+class ServeSpec:
+    """The live analytics service (``repro.serve``) — never content.
+
+    Serving is a read path over the committed rollup: it can never
+    change which flows a capture contains, so the section stays
+    outside every digest, exactly like ``execution`` and ``fleet``.
+    """
+
+    enabled: bool = False
+    """Serve live reports while the capture runs."""
+    host: str = "127.0.0.1"
+    port: int = 0
+    """TCP port; 0 binds an ephemeral port (printed at startup)."""
+    linger_s: float = 0.0
+    """Seconds to keep serving after the capture completes — the CI
+    smoke job and dashboard demos poll the finished state."""
+    publish_interval_s: float = 0.25
+    """Fleet only: minimum seconds between merged partial-state
+    publications while the coordinator polls its workers."""
+    max_inflight: int = 64
+    """Concurrent renders the server allows before queueing requests
+    (backpressure; renders are GIL-bound numpy)."""
+
+    def _validate(self, path: str) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ScenarioError(f"{path}.port", "must be in [0, 65535]")
+        if not self.host:
+            raise ScenarioError(f"{path}.host", "must be non-empty")
+        if self.linger_s < 0:
+            raise ScenarioError(f"{path}.linger_s", "must be >= 0")
+        if self.publish_interval_s <= 0:
+            raise ScenarioError(f"{path}.publish_interval_s", "must be > 0")
+        if self.max_inflight < 1:
+            raise ScenarioError(f"{path}.max_inflight", "must be >= 1")
+
+
 _SECTION_TYPES: Dict[str, type] = {
     "geometry": GeometrySpec,
     "constellation": ConstellationSpec,
@@ -657,6 +694,7 @@ _SECTION_TYPES: Dict[str, type] = {
     "execution": ExecutionSpec,
     "fleet": FleetSpec,
     "faults": FaultsSpec,
+    "serve": ServeSpec,
 }
 
 #: Sections that decide which flows a capture contains. ``qos`` shapes
@@ -809,6 +847,7 @@ class Scenario:
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     fleet: FleetSpec = field(default_factory=FleetSpec)
     faults: FaultsSpec = field(default_factory=FaultsSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
 
     # -- construction ------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""repro.serve — query a live capture over HTTP while it runs.
+
+The paper's operator vantage is a monitoring deck over live traffic;
+this package is the reproduction's read path for it: the producer
+publishes checkpoint-consistent rollup snapshots into a
+:class:`SnapshotHub` as windows commit, and a stdlib-asyncio HTTP
+server renders registry reports, progress, telemetry, the scorecard
+and the capability matrix from whichever snapshot is current — every
+response tagged with the committed rollup digest it was computed from.
+"""
+
+from repro.serve.service import (
+    EndpointStats,
+    ReportServer,
+    ServeStats,
+    ServerThread,
+    render_serve_telemetry,
+)
+from repro.serve.snapshot import (
+    RollupSnapshot,
+    SnapshotHub,
+    snapshot_from_capture,
+)
+
+__all__ = [
+    "EndpointStats",
+    "ReportServer",
+    "RollupSnapshot",
+    "ServeStats",
+    "ServerThread",
+    "SnapshotHub",
+    "render_serve_telemetry",
+    "snapshot_from_capture",
+]

@@ -1,0 +1,164 @@
+"""Checkpoint-consistent rollup snapshots for the live analytics service.
+
+The serve layer never reads the producer's live :class:`StreamRollup`
+— that object mutates mid-fold on the commit thread. Instead the
+producer *publishes* an immutable :class:`RollupSnapshot` into a
+:class:`SnapshotHub` right after each window's checkpoint lands:
+``StreamRollup.copy()`` (copy-on-publish, digest-identical by
+construction) tagged with the committed ``rollup_digest`` and
+``Checkpoint.progress()``. Readers always see either the previous
+snapshot or the new one, never a half-folded window — swapping one
+reference under a lock is the whole consistency protocol.
+
+:func:`snapshot_from_capture` builds the same snapshot from a capture
+directory on disk (finished or mid-flight), which is what
+``repro serve --dir`` uses to watch a capture produced by another
+process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.analysis.source import CaptureError
+from repro.stream.checkpoint import (
+    Checkpoint,
+    WindowTelemetry,
+    load_checkpoint,
+    rollup_path,
+)
+from repro.stream.rollup import StreamRollup
+
+
+@dataclass(frozen=True)
+class RollupSnapshot:
+    """One immutable committed-prefix view of a capture.
+
+    ``rollup`` is a private copy — nothing mutates it after publish —
+    and ``digest`` is the checkpoint's committed ``rollup_digest``, so
+    an HTTP response tagged with it names exactly which window prefix
+    it rendered.
+    """
+
+    rollup: StreamRollup
+    digest: str
+    capture_key: str
+    windows_done: int
+    n_windows: int
+    telemetry: Tuple[WindowTelemetry, ...] = ()
+
+    @property
+    def progress(self) -> float:
+        if self.n_windows <= 0:
+            return 1.0
+        return min(1.0, self.windows_done / self.n_windows)
+
+    @property
+    def complete(self) -> bool:
+        return self.windows_done >= self.n_windows
+
+    @classmethod
+    def from_state(
+        cls,
+        rollup: StreamRollup,
+        checkpoint: Checkpoint,
+    ) -> "RollupSnapshot":
+        """Copy-on-publish: snapshot the live rollup at a commit point.
+
+        Must be called on the commit thread *between* windows (the
+        producer does, from the same spot that fires ``on_window``), so
+        the copy sees whole folded windows only.
+        """
+        return cls(
+            rollup=rollup.copy(),
+            digest=checkpoint.rollup_digest,
+            capture_key=checkpoint.capture_key,
+            windows_done=checkpoint.windows_done,
+            n_windows=checkpoint.n_windows,
+            telemetry=tuple(checkpoint.telemetry),
+        )
+
+
+@dataclass
+class SnapshotHub:
+    """Thread-safe single-slot exchange between producer and server.
+
+    The producer publishes, any number of server threads read. The hub
+    keeps only the latest snapshot (dashboards want "now", not
+    history) plus a publish counter for the telemetry table.
+    """
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _first: threading.Event = field(default_factory=threading.Event, repr=False)
+    _current: Optional[RollupSnapshot] = None
+    published: int = 0
+
+    def publish(self, snapshot: RollupSnapshot) -> None:
+        with self._lock:
+            self._current = snapshot
+            self.published += 1
+        self._first.set()
+
+    def publish_state(self, rollup: StreamRollup, checkpoint: Checkpoint) -> None:
+        """Copy-on-publish from live producer state (see ``from_state``)."""
+        self.publish(RollupSnapshot.from_state(rollup, checkpoint))
+
+    def current(self) -> Optional[RollupSnapshot]:
+        with self._lock:
+            return self._current
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[RollupSnapshot]:
+        """Block until the first snapshot is published, then return it."""
+        self._first.wait(timeout)
+        return self.current()
+
+
+def snapshot_from_capture(path: Union[str, Path]) -> RollupSnapshot:
+    """Snapshot a capture directory (or saved rollup ``.npz``) on disk.
+
+    For a capture directory the committed checkpoint is authoritative:
+    if ``rollup.npz`` ran ahead of ``checkpoint.json`` (a kill between
+    commit steps 2 and 3) the digests disagree and we refuse with a
+    diagnosis instead of serving an uncommitted window — ``repro
+    stream --resume`` heals that state, serving must not paper over it.
+    """
+    path = Path(path)
+    if path.is_file():
+        rollup = StreamRollup.load(path)
+        return RollupSnapshot(
+            rollup=rollup,
+            digest=rollup.state_digest(),
+            capture_key="",
+            windows_done=rollup.windows_folded,
+            n_windows=rollup.windows_folded,
+        )
+    if not path.is_dir():
+        raise CaptureError(f"no capture at {path}")
+    checkpoint = load_checkpoint(path)
+    if checkpoint is None:
+        raise CaptureError(
+            f"{path} has no checkpoint.json — nothing committed to serve yet"
+        )
+    if checkpoint.windows_done <= 0:
+        raise CaptureError(
+            f"capture in progress (0% complete): {path} has no committed windows yet"
+        )
+    rollup = StreamRollup.load(rollup_path(path))
+    digest = rollup.state_digest()
+    if digest != checkpoint.rollup_digest:
+        raise CaptureError(
+            f"rollup state at {path} is ahead of its checkpoint "
+            f"(digest {digest[:12]} != committed {checkpoint.rollup_digest[:12]}); "
+            "resume the capture (repro stream --resume) to heal it"
+        )
+    return RollupSnapshot(
+        rollup=rollup,
+        digest=digest,
+        capture_key=checkpoint.capture_key,
+        windows_done=checkpoint.windows_done,
+        n_windows=checkpoint.n_windows,
+        telemetry=tuple(checkpoint.telemetry),
+    )

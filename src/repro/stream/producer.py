@@ -65,6 +65,7 @@ from repro.traffic.workload import WorkloadConfig, WorkloadGenerator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.satcom.delaysource import DelaySource
     from repro.scenario import Scenario
+    from repro.serve.snapshot import SnapshotHub
 
 
 @dataclass(frozen=True)
@@ -332,6 +333,7 @@ class _WindowCommitter:
         injector: FaultInjector,
         on_window: Optional[Callable[[WindowTelemetry], None]],
         delay_source: Optional["DelaySource"] = None,
+        snapshot_hub: Optional["SnapshotHub"] = None,
     ) -> None:
         self.capture_dir = capture_dir
         self.store = store
@@ -340,6 +342,7 @@ class _WindowCommitter:
         self.injector = injector
         self.on_window = on_window
         self.delay_source = delay_source
+        self.snapshot_hub = snapshot_hub
         # Each window row attributes every fault since the previous
         # commit: directory-setup and resume-recovery faults land on the
         # first row, a checkpoint-write fault on the next row. Under
@@ -390,6 +393,11 @@ class _WindowCommitter:
         self.checkpoint.telemetry.append(telemetry)
         write_checkpoint(self.capture_dir, self.checkpoint, injector=injector)
         injector.kill_point(f"stream:w{window.index}:committed")
+        # Publish the committed state to the live serve hub *on the
+        # commit thread*, between folds — the copy sees whole windows
+        # only, and its digest equals the checkpoint's by construction.
+        if self.snapshot_hub is not None:
+            self.snapshot_hub.publish_state(self.rollup, self.checkpoint)
         if self.on_window is not None:
             self.on_window(telemetry)
         return telemetry
@@ -463,6 +471,7 @@ def run_stream_capture(
     on_window: Optional[Callable[[WindowTelemetry], None]] = None,
     faults: Optional[FaultPlan] = None,
     shard_range: Optional[Tuple[int, int]] = None,
+    snapshot_hub: Optional["SnapshotHub"] = None,
 ) -> StreamResult:
     """Run (or continue) a streaming capture into ``capture_dir``.
 
@@ -479,7 +488,9 @@ def run_stream_capture(
     capture). ``max_windows`` bounds how many windows *this call*
     produces — the checkpoint stays resumable, which is how the tests
     simulate a kill. ``on_window`` observes each window's telemetry as
-    it commits.
+    it commits, and ``snapshot_hub`` (a :class:`repro.serve.SnapshotHub`)
+    receives an immutable checkpoint-consistent rollup snapshot at the
+    same commit point — the live serve read path.
 
     ``faults`` (or ``config.faults``) arms a deterministic chaos plan
     for *this run only*: injected IO errors retry with backoff, torn
@@ -578,6 +589,13 @@ def run_stream_capture(
             rollup_digest=rollup.state_digest(),
         )
 
+    # Live serving: publish the starting state (empty on a fresh run,
+    # the healed committed prefix on resume) so the server has a
+    # consistent snapshot before the first new window commits, then let
+    # the committer publish after every checkpoint write.
+    if snapshot_hub is not None:
+        snapshot_hub.publish_state(rollup, checkpoint)
+
     todo = producer.windows[checkpoint.windows_done :]
     if max_windows is not None:
         todo = todo[: max(0, max_windows)]
@@ -589,6 +607,7 @@ def run_stream_capture(
         injector,
         on_window,
         delay_source=generator.delay_source,
+        snapshot_hub=snapshot_hub,
     )
     # The persistent pool forks eagerly here — before the commit thread
     # exists — so the workers never inherit a lock held mid-commit.

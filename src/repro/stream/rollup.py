@@ -644,6 +644,43 @@ class StreamRollup:
             mine += vec
         return self
 
+    def copy(self) -> "StreamRollup":
+        """A deep, digest-identical copy — the serve snapshot primitive.
+
+        Every array is copied explicitly (no merge-into-empty, whose
+        float adds could flip signed-zero bits, and no save/load round
+        trip, which would pay npz compression per window), so
+        ``copy().state_digest() == state_digest()`` holds bit for bit
+        and the copy never aliases live mutable state.
+        """
+        other = StreamRollup(self.countries, self.services, self.resolvers)
+        other.flows_total = self.flows_total
+        other.windows_folded = self.windows_folded
+        other.bytes_up_c = self.bytes_up_c.copy()
+        other.bytes_down_c = self.bytes_down_c.copy()
+        other.flows_c = self.flows_c.copy()
+        other.vol_clh = self.vol_clh.copy()
+        other.vol_csh = self.vol_csh.copy()
+        other.vol_day = {day: matrix.copy() for day, matrix in self.vol_day.items()}
+        other._customers = [set(s) for s in self._customers]
+        other.cd_total_c = self.cd_total_c.copy()
+        other.cd_idle_c = self.cd_idle_c.copy()
+        other.sat_min_c = self.sat_min_c.copy()
+        other.svc_cust_days = self.svc_cust_days.copy()
+        other.dns_cr = self.dns_cr.copy()
+        other.qoe_sessions = self.qoe_sessions.copy()
+        other.qoe_rebuffer_sum = self.qoe_rebuffer_sum.copy()
+        other.qoe_level_sum = self.qoe_level_sum.copy()
+        other.qoe_switch_sum = self.qoe_switch_sum.copy()
+        other._t2 = {cid: vec.copy() for cid, vec in self._t2.items()}
+        for spec in self._hist_specs():
+            mine: HistFamily = getattr(self, spec.name)
+            theirs: HistFamily = getattr(other, spec.name)
+            theirs.counts = mine.counts.copy()
+            theirs.under = mine.under.copy()
+            theirs.over = mine.over.copy()
+        return other
+
     # -- queries used by the from_rollup report paths ------------------
 
     def country_row(self, country: str) -> int:

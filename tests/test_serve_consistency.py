@@ -1,0 +1,179 @@
+"""Serve consistency: live readers only ever see committed prefixes.
+
+The contract under test is the serve layer's whole reason to exist: a
+reader hammering ``/reports/fig2`` while a capture commits windows
+underneath it must only ever observe snapshots whose digest equals
+some *committed checkpoint digest* — never a half-folded window, never
+a torn rollup — and every response tagged with a given digest must be
+byte-identical (one committed prefix has exactly one rendering). The
+property is swept across pipeline depths 0 (lockstep) and 2
+(generation runs ahead) and across a SIGKILL + resume, because those
+are the executions where a torn read would actually differ.
+"""
+
+import http.client
+import multiprocessing
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serve import ServerThread, SnapshotHub
+from repro.stream import StreamConfig, load_checkpoint, run_stream_capture
+from repro.traffic.workload import WorkloadConfig
+
+CONFIG = StreamConfig(
+    workload=WorkloadConfig(n_customers=48, days=3, seed=7, n_workers=1),
+    window_days=1,
+    compress=False,
+)
+
+
+class RecordingHub(SnapshotHub):
+    """A hub that records every digest *before* readers can see it.
+
+    Recording inside :meth:`publish` ahead of the swap makes the
+    committed-digest list authoritative without racing the readers: a
+    snapshot is never observable before its digest is on the list.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.digests = []
+
+    def publish(self, snapshot) -> None:
+        self.digests.append(snapshot.digest)
+        super().publish(snapshot)
+
+
+def _fetch(port: int, path: str):
+    """One GET over a fresh connection -> (status, digest-header, body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("X-Capture-Digest"),
+            response.read(),
+        )
+    finally:
+        conn.close()
+
+
+class ReaderThread(threading.Thread):
+    """Hammer one endpoint until stopped, recording what was observed."""
+
+    def __init__(self, port: int, path: str = "/reports/fig2") -> None:
+        super().__init__(daemon=True)
+        self.port = port
+        self.path = path
+        self.stop = threading.Event()
+        self.observations = []  # (digest, status, body) for non-warmup
+        self.transport_errors = []
+
+    def run(self) -> None:
+        while not self.stop.is_set():
+            try:
+                status, digest, body = _fetch(self.port, self.path)
+            except OSError as exc:  # refused/reset — a real serve bug
+                self.transport_errors.append(repr(exc))
+                continue
+            if status == 503:
+                continue  # warmup: nothing published yet
+            self.observations.append((digest, status, body))
+
+    def finish(self):
+        self.stop.set()
+        self.join(timeout=30)
+        assert not self.is_alive(), "reader thread wedged"
+        return self.observations
+
+
+def _assert_consistent(observations, committed_digests) -> None:
+    """Every observation names a committed digest; one digest, one body."""
+    assert observations, "reader never saw a snapshot"
+    committed = set(committed_digests)
+    bodies_by_digest = {}
+    for digest, status, body in observations:
+        assert digest in committed, (
+            f"reader observed digest {digest[:12]} that was never a "
+            "committed checkpoint digest — torn snapshot"
+        )
+        assert status == 200, f"unexpected status {status}: {body[:120]!r}"
+        expected = bodies_by_digest.setdefault(digest, body)
+        assert body == expected, (
+            f"two different bodies served for digest {digest[:12]}"
+        )
+
+
+@pytest.mark.parametrize("pipeline_depth", [0, 2])
+def test_live_reader_sees_only_committed_digests(tmp_path, pipeline_depth):
+    import dataclasses
+
+    config = dataclasses.replace(CONFIG, pipeline_depth=pipeline_depth)
+    hub = RecordingHub()
+    server = ServerThread(hub)
+    server.start()
+    reader = ReaderThread(server.port)
+    reader.start()
+    try:
+        result = run_stream_capture(
+            config, tmp_path / "cap", snapshot_hub=hub
+        )
+    finally:
+        observations = reader.finish()
+        server.stop()
+    assert result.complete
+    assert reader.transport_errors == []
+    # initial empty publish + one per committed window
+    assert len(hub.digests) == 1 + result.checkpoint.windows_done
+    assert hub.digests[-1] == result.checkpoint.rollup_digest
+    _assert_consistent(observations, hub.digests)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="SIGKILL leg needs fork",
+)
+def test_live_reader_stays_consistent_across_sigkill_resume(tmp_path):
+    """Kill a capture mid-run, resume it with serving on: readers of the
+    resumed run still only see committed digests (the healed prefix
+    publishes first), and the finished digest matches a clean run."""
+    capture_dir = tmp_path / "cap"
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - dies by SIGKILL
+        try:
+            run_stream_capture(
+                CONFIG, capture_dir,
+                faults=FaultPlan(kill_at=("stream:w1:committed",)),
+            )
+        finally:
+            os._exit(7)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+    killed_at = load_checkpoint(capture_dir)
+    assert killed_at is not None and not killed_at.complete
+
+    clean = run_stream_capture(CONFIG, tmp_path / "clean")
+
+    hub = RecordingHub()
+    server = ServerThread(hub)
+    server.start()
+    reader = ReaderThread(server.port)
+    reader.start()
+    try:
+        result = run_stream_capture(
+            CONFIG, capture_dir, resume=True, snapshot_hub=hub
+        )
+    finally:
+        observations = reader.finish()
+        server.stop()
+    assert result.complete
+    assert result.rollup.state_digest() == clean.rollup.state_digest()
+    assert reader.transport_errors == []
+    # first publish is the healed committed prefix, not an empty rollup
+    assert hub.digests[0] == killed_at.rollup_digest
+    _assert_consistent(observations, hub.digests)

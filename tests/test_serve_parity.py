@@ -1,0 +1,108 @@
+"""Serve/CLI parity: HTTP bodies are the offline renders, byte for byte.
+
+``/reports/<name>`` and ``repro stream-report`` must be the same code
+path wearing different transports — both dispatch through
+``registry.run(name, RollupSource(...), prefer="rollup")``. This test
+makes that structural claim an executable one: for *every*
+rollup-capable report in the registry, the markdown served over HTTP
+equals the CLI's stdout byte for byte (modulo the CLI's one trailing
+blank line between reports), and the JSON envelope embeds the same
+markdown plus the committed digest the offline checkpoint carries.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.analysis import registry
+from repro.cli import main
+from repro.serve import ServerThread, SnapshotHub, snapshot_from_capture
+from repro.stream import StreamConfig, run_stream_capture
+from repro.traffic.workload import WorkloadConfig
+
+CONFIG = StreamConfig(
+    workload=WorkloadConfig(n_customers=48, days=3, seed=7, n_workers=1),
+    window_days=1,
+    compress=False,
+)
+
+
+def _servable_names():
+    registry.ensure_loaded()
+    return [s.name for s in registry.specs() if s.compute_rollup is not None]
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    capture_dir = tmp_path_factory.mktemp("parity") / "cap"
+    result = run_stream_capture(CONFIG, capture_dir)
+    assert result.complete
+    return capture_dir, result.checkpoint
+
+
+@pytest.fixture(scope="module")
+def served(capture):
+    capture_dir, _ = capture
+    hub = SnapshotHub()
+    hub.publish(snapshot_from_capture(capture_dir))
+    server = ServerThread(hub)
+    server.start()
+    yield server
+    server.stop()
+
+
+def _http_get(server, path):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+@pytest.mark.parametrize("name", _servable_names())
+def test_http_markdown_equals_cli_stream_report(name, capture, served, capsys):
+    capture_dir, _ = capture
+    exit_code = main(["stream-report", "--dir", str(capture_dir),
+                      "--which", name])
+    assert exit_code == 0
+    cli_stdout = capsys.readouterr().out
+
+    status, body = _http_get(served, f"/reports/{name}")
+    assert status == 200
+    # CLI prints the render plus a blank separator line; HTTP ends the
+    # body with exactly one newline. Same bytes otherwise.
+    assert body.decode() + "\n" == cli_stdout
+
+
+@pytest.mark.parametrize("name", _servable_names())
+def test_http_json_envelope_carries_same_markdown(name, capture, served):
+    capture_dir, checkpoint = capture
+    status, markdown = _http_get(served, f"/reports/{name}")
+    assert status == 200
+    status, body = _http_get(served, f"/reports/{name}?format=json")
+    assert status == 200
+    envelope = json.loads(body)
+    assert envelope["report"] == name
+    assert envelope["digest"] == checkpoint.rollup_digest
+    assert envelope["windows_done"] == checkpoint.windows_done
+    assert (envelope["markdown"] + "\n").encode() == markdown
+
+
+def test_all_rollup_reports_batch_matches_http(capture, served, capsys):
+    """`--which all` over the rollup source = concatenation of the
+    individually served bodies, in registry order."""
+    capture_dir, _ = capture
+    names = _servable_names()
+    exit_code = main(["stream-report", "--dir", str(capture_dir),
+                      "--which", ",".join(names)])
+    assert exit_code == 0
+    cli_stdout = capsys.readouterr().out
+
+    joined = "".join(
+        _http_get(served, f"/reports/{name}")[1].decode() + "\n"
+        for name in names
+    )
+    assert joined == cli_stdout
